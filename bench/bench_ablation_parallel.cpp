@@ -1,0 +1,64 @@
+// Ablation: parallelization strategies (paper §4.3).
+//
+//  A5 row partitioning balanced by nonzeros (the paper's choice)
+//     vs equal-rows partitioning (PETSc's default)
+//     vs column partitioning (deferred future work, implemented here)
+//     vs nonzero-exact segmented scan (deferred future work, implemented
+//     here), all at the same thread count — plus the imbalance statistic
+//     that explains the differences.
+#include "bench_common.h"
+
+#include "core/column_partition.h"
+#include "core/segmented_scan.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::print_host_banner();
+  bench::SuiteCache suite(cfg.scale);
+  const unsigned threads = std::max(2u, host_info().logical_cpus);
+
+  Table t({"Matrix", "rows-by-nnz GF", "imbalance", "equal-rows imb.",
+           "column GF", "seg-scan GF", "seg imbalance"});
+  for (const auto& entry : gen::suite_entries()) {
+    const CsrMatrix& m = suite.get(entry.name);
+
+    TuningOptions opt = TuningOptions::full(threads);
+    opt.tune_prefetch = false;
+    opt.prefetch_distance = 0;
+    const double gf_rows =
+        bench::measure_tuned_gflops(m, opt, cfg.measure_seconds);
+    const double imb_nnz =
+        partition_imbalance(m, partition_rows_by_nnz(m, threads));
+    const double imb_equal =
+        partition_imbalance(m, partition_rows_equal(m.rows(), threads));
+
+    const ColumnPartitionedSpmv col = ColumnPartitionedSpmv::plan(m, opt);
+    const auto x = bench::random_vector(m.cols(), 7);
+    std::vector<double> y(m.rows(), 0.0);
+    const TimingResult tc = time_kernel(
+        [&] { col.multiply(x, y); }, cfg.measure_seconds, 3);
+    const double gf_col = bench::gflops(m.nnz(), tc.best_s);
+
+    const SegmentedScanSpmv seg(m, threads);
+    const TimingResult tseg = time_kernel(
+        [&] { seg.multiply(x, y); }, cfg.measure_seconds, 3);
+    const double gf_seg = bench::gflops(m.nnz(), tseg.best_s);
+
+    t.add_row({entry.name, Table::fmt(gf_rows, 3), Table::fmt(imb_nnz, 2),
+               Table::fmt(imb_equal, 2), Table::fmt(gf_col, 3),
+               Table::fmt(gf_seg, 3), Table::fmt(seg.nnz_imbalance(), 3)});
+  }
+  std::cout << "# Ablation: parallelization strategy at " << threads
+            << " threads, scale=" << cfg.scale << "\n";
+  cfg.emit(t, "A5: row vs column vs segmented-scan partitioning");
+  std::cout << "\n# expected: nnz-balanced rows dominate on regular "
+               "matrices; equal-rows imbalance is large for skewed "
+               "matrices (paper: 40% of nonzeros on 1 of 4 ranks for "
+               "FEM/Accelerator-class); segmented scan is within noise of "
+               "rows-by-nnz but perfectly balanced (imbalance ~1.000); "
+               "column partitioning pays reduction overhead except on "
+               "LP-shaped working sets\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: data-structure tuning design choices, measured on this host.
+//
+//  A1 footprint-heuristic vs OSKI-style profile search for the register
+//     block (the paper's central methodological choice: "rather than
+//     tuning via search ... one pass over the nonzeros");
+//  A2 index compression on/off;
+//  A3 BCOO on/off (empty-row handling);
+//  A4 prefetch distance: none / fixed 64 / tuned.
+#include "bench_common.h"
+
+#include "baseline/oski_like.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::baseline;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::print_host_banner();
+  bench::SuiteCache suite(cfg.scale);
+  const RegisterProfile profile = RegisterProfile::measure();
+
+  // ---------- A1 + A2 + A3 + A4 in one sweep per matrix ----------
+  Table t({"Matrix", "heuristic GF", "heur bytes/nnz", "search GF",
+           "search bytes/nnz", "no-idx16 GF", "no-BCOO GF", "pf=0 GF",
+           "pf=64 GF", "pf tuned GF"});
+  std::vector<double> heur, search;
+  for (const auto& entry : gen::suite_entries()) {
+    const CsrMatrix& m = suite.get(entry.name);
+
+    // Heuristic (the paper's tuner), serial, everything on.
+    TuningOptions opt = TuningOptions::full(1);
+    const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+    const double gf_heur =
+        bench::measure_tuned_gflops(m, opt, cfg.measure_seconds);
+    const double bpn_heur =
+        static_cast<double>(tuned.report().tuned_bytes) /
+        static_cast<double>(std::max<std::uint64_t>(1, m.nnz()));
+
+    // OSKI-style search: profile x sampled fill, uniform block.
+    const OskiLikeMatrix searched = OskiLikeMatrix::tune(m, profile);
+    const auto x = bench::random_vector(m.cols(), 7);
+    std::vector<double> y(m.rows(), 0.0);
+    const TimingResult ts = time_kernel(
+        [&] { searched.multiply(x, y); }, cfg.measure_seconds, 3);
+    const double gf_search = bench::gflops(m.nnz(), ts.best_s);
+    const double fill = searched.decision().estimated_fill;
+    const double bpn_search =
+        8.0 * fill +
+        4.0 * fill /
+            (searched.decision().br * searched.decision().bc);
+
+    // A2: no index compression.
+    TuningOptions no16 = TuningOptions::full(1);
+    no16.index_compression = false;
+    const double gf_no16 =
+        bench::measure_tuned_gflops(m, no16, cfg.measure_seconds);
+
+    // A3: no BCOO.
+    TuningOptions nobcoo = TuningOptions::full(1);
+    nobcoo.allow_bcoo = false;
+    const double gf_nobcoo =
+        bench::measure_tuned_gflops(m, nobcoo, cfg.measure_seconds);
+
+    // A4: prefetch variants.
+    TuningOptions pf0 = TuningOptions::full(1);
+    pf0.tune_prefetch = false;
+    pf0.prefetch_distance = 0;
+    const double gf_pf0 =
+        bench::measure_tuned_gflops(m, pf0, cfg.measure_seconds);
+    TuningOptions pf64 = pf0;
+    pf64.prefetch_distance = 64;
+    const double gf_pf64 =
+        bench::measure_tuned_gflops(m, pf64, cfg.measure_seconds);
+
+    heur.push_back(gf_heur);
+    search.push_back(gf_search);
+    t.add_row({entry.name, Table::fmt(gf_heur, 3), Table::fmt(bpn_heur, 1),
+               Table::fmt(gf_search, 3), Table::fmt(bpn_search, 1),
+               Table::fmt(gf_no16, 3), Table::fmt(gf_nobcoo, 3),
+               Table::fmt(gf_pf0, 3), Table::fmt(gf_pf64, 3),
+               Table::fmt(gf_heur, 3)});
+  }
+  std::cout << "# Ablation: tuning design choices, scale=" << cfg.scale
+            << "\n";
+  cfg.emit(t, "A1-A4: heuristic vs search, idx16, BCOO, prefetch");
+  std::cout << "\n# medians: heuristic " << Table::fmt(median(heur), 3)
+            << " GF vs search " << Table::fmt(median(search), 3)
+            << " GF.  The one-pass footprint heuristic should stay within "
+               "a few percent of profile search while planning in a single "
+               "pass (paper §4.2's design claim); idx16/BCOO effects are "
+               "matrix dependent; fixed prefetch must never beat tuned\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared plumbing for the table/figure regeneration binaries.
+//
+// Every bench binary accepts:
+//   --scale=<0..1>   dimension scale for the suite matrices (default 0.25;
+//                    1.0 reproduces Table 3 sizes exactly)
+//   --csv=true       emit CSV instead of the ASCII table
+//   --measure_seconds=<s>  min measuring time per kernel timing
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/kernels_csr.h"
+#include "core/tuned_matrix.h"
+#include "gen/suite.h"
+#include "matrix/csr.h"
+#include "util/cli.h"
+#include "util/cpu.h"
+#include "util/prng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace spmv::bench {
+
+struct BenchConfig {
+  double scale = 0.25;
+  bool csv = false;
+  double measure_seconds = 0.05;
+
+  static BenchConfig from_cli(int argc, char** argv) {
+    const Cli cli(argc, argv);
+    BenchConfig c;
+    c.scale = cli.get_double("scale", 0.25);
+    c.csv = cli.get_bool("csv", false);
+    c.measure_seconds = cli.get_double("measure_seconds", 0.05);
+    return c;
+  }
+
+  void emit(const Table& table, const std::string& title) const {
+    if (!csv) std::cout << "\n== " << title << " ==\n";
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+};
+
+/// Lazily generated, cached suite matrices (several benches sweep all 14).
+class SuiteCache {
+ public:
+  explicit SuiteCache(double scale) : scale_(scale) {}
+
+  const CsrMatrix& get(const std::string& name) {
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+      it = cache_.emplace(name, gen::generate_suite_matrix(name, scale_))
+               .first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  std::map<std::string, CsrMatrix> cache_;
+};
+
+inline std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Prng rng(seed);
+  for (double& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+/// Effective Gflop/s of one timed multiply (the paper's metric: 2·nnz per
+/// sweep regardless of padding).
+inline double gflops(std::uint64_t nnz, double seconds) {
+  return seconds <= 0.0 ? 0.0
+                        : 2.0 * static_cast<double>(nnz) / seconds / 1e9;
+}
+
+/// Measure the tuned SpMV on this host under the given options.
+inline double measure_tuned_gflops(const CsrMatrix& m,
+                                   const TuningOptions& opt,
+                                   double min_seconds) {
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  const auto x = random_vector(m.cols(), 7);
+  std::vector<double> y(m.rows(), 0.0);
+  const TimingResult t =
+      time_kernel([&] { tuned.multiply(x, y); }, min_seconds, 3);
+  return gflops(m.nnz(), t.best_s);
+}
+
+/// Measure a plain-CSR kernel flavor on this host.
+inline double measure_csr_gflops(const CsrMatrix& m, KernelFlavor flavor,
+                                 unsigned prefetch, double min_seconds) {
+  const auto x = random_vector(m.cols(), 7);
+  std::vector<double> y(m.rows(), 0.0);
+  const TimingResult t = time_kernel(
+      [&] { spmv_csr(m, x, y, flavor, prefetch); }, min_seconds, 3);
+  return gflops(m.nnz(), t.best_s);
+}
+
+inline void print_host_banner() {
+  const HostInfo& h = host_info();
+  std::cout << "# host: " << (h.vendor.empty() ? "unknown CPU" : h.vendor)
+            << ", " << h.logical_cpus << " logical CPU(s)"
+            << (h.has_avx2 ? ", AVX2" : "")
+            << (h.has_avx512f ? ", AVX-512" : "") << "\n";
+}
+
+}  // namespace spmv::bench

@@ -1,0 +1,66 @@
+// Regenerates Figure 1 (bottom): STI Cell ladder — 1 SPE, 6 SPEs (PS3),
+// 8 SPEs (one blade socket), 16 SPEs (full blade).  The modeled kernel is
+// the paper's §4.4 implementation: dense cache blocks, 2-byte indices,
+// DMA double buffering, no register blocking.
+#include "fig1_common.h"
+
+#include "core/local_store.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::model;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+
+  // 1 SPE and 6 SPEs on the PS3 descriptor; 8 and 16 on the blade.
+  bench::LadderSpec ps3;
+  ps3.machine = cell_ps3();
+  ps3.rungs = {
+      {"1 SPE (PS3)", {1, 1, 1}, OptLevel::kCacheBlocked},
+      {"6 SPEs (PS3)", {1, 6, 1}, OptLevel::kCacheBlocked},
+  };
+  bench::run_figure1_ladder(ps3, cfg, "Figure 1: Cell PS3 SpMV");
+
+  bench::LadderSpec blade;
+  blade.machine = cell_blade();
+  blade.rungs = {
+      {"8 SPEs", {1, 8, 1}, OptLevel::kCacheBlocked},
+      {"2s x 8 SPEs", {2, 8, 1}, OptLevel::kCacheBlocked},
+  };
+  bench::run_figure1_ladder(blade, cfg, "Figure 1: Cell Blade SpMV");
+
+  std::cout << "\n# paper shape checks: speedups of 5.7x/7.4x/9.9x at "
+               "6/8/16 SPEs vs 1 SPE; matrices with few nnz/row (Economics, "
+               "Circuit) heavily penalized by branch misses; dense-matrix "
+               "runs saturate a blade socket (91% of bandwidth) but not the "
+               "PS3 (compute bound)\n";
+
+  // Functional emulation of the §4.4 kernel on this host: dense cache
+  // blocks, 2-byte indices, double-buffered DMA staging through a 256 KB
+  // local store.  Shows the code path is real and its traffic matches the
+  // model's 10 B/nnz assumption.
+  bench::SuiteCache suite(cfg.scale);
+  Table t({"Matrix", "staged GF (host)", "bytes/nnz", "DMA GB per sweep",
+           "blocks"});
+  for (const auto& entry : gen::suite_entries()) {
+    const CsrMatrix& m = suite.get(entry.name);
+    LocalStoreParams p;
+    p.spes = 1;
+    const LocalStoreSpmv ls = LocalStoreSpmv::plan(m, p);
+    const auto x = bench::random_vector(m.cols(), 7);
+    std::vector<double> y(m.rows(), 0.0);
+    const TimingResult tr = time_kernel(
+        [&] { ls.multiply(x, y); }, cfg.measure_seconds, 3);
+    const double sweeps = static_cast<double>(ls.stats().dma_transfers) > 0
+                              ? static_cast<double>(tr.reps + 0)
+                              : 1.0;
+    t.add_row({entry.name,
+               Table::fmt(bench::gflops(m.nnz(), tr.best_s), 3),
+               Table::fmt(ls.bytes_per_nnz(), 1),
+               Table::fmt(static_cast<double>(ls.stats().total_bytes()) /
+                              sweeps / 1e9,
+                          3),
+               std::to_string(ls.blocks())});
+  }
+  cfg.emit(t, "Section 4.4 kernel, functionally emulated on this host");
+  return 0;
+}

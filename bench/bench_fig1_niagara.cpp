@@ -1,0 +1,39 @@
+// Regenerates Figure 1 (third): Sun Niagara ladder — single-thread rungs,
+// then 8 cores at 1, 2, and 4 hardware threads per core.
+#include "fig1_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::model;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+
+  bench::LadderSpec spec;
+  spec.machine = niagara();
+  spec.rungs = {
+      {"1t naive", {1, 1, 1}, OptLevel::kNaive},
+      {"1t +PF", {1, 1, 1}, OptLevel::kPrefetch},
+      {"1t +RB", {1, 1, 1}, OptLevel::kRegisterBlocked},
+      {"1t +CB", {1, 1, 1}, OptLevel::kCacheBlocked},
+      {"8c x 1t [*]", {1, 8, 1}, OptLevel::kCacheBlocked},
+      {"8c x 2t [*]", {1, 8, 2}, OptLevel::kCacheBlocked},
+      {"8c x 4t [*]", {1, 8, 4}, OptLevel::kCacheBlocked},
+  };
+  bench::run_figure1_ladder(spec, cfg, "Figure 1: Niagara SpMV ladder");
+
+  std::cout << "\n# paper shape checks: naive single thread ~32 Mflop/s "
+               "median, ~15% serial optimization gain; 7.6x / 13.8x / 21.2x "
+               "speedups at 8/16/32 threads; full-system median ~0.8 "
+               "Gflop/s, lowest of all platforms\n";
+
+  // §6.4's forward projection: Niagara-2 with 8 threads/core at 1.4 GHz
+  // and real per-core FPUs "will significantly improve performance".
+  bench::LadderSpec n2;
+  n2.machine = niagara2_projection();
+  n2.rungs = {
+      {"8c x 4t [*]", {1, 8, 4}, OptLevel::kCacheBlocked},
+      {"8c x 8t [*]", {1, 8, 8}, OptLevel::kCacheBlocked},
+  };
+  bench::run_figure1_ladder(n2, cfg,
+                            "Section 6.4 projection: Niagara-2");
+  return 0;
+}

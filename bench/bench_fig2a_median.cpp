@@ -1,0 +1,58 @@
+// Regenerates Figure 2(a): median suite performance per platform at one
+// core, one full socket, and the full system — our optimized SpMV vs OSKI
+// on the cache-based machines.
+#include "bench_common.h"
+
+#include "model/machine.h"
+#include "model/perf_model.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::model;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::SuiteCache suite(cfg.scale);
+
+  Table t({"Machine", "1 core", "1 socket", "full system", "OSKI (serial)",
+           "OSKI-PETSc"});
+  std::map<std::string, double> socket_medians;
+  for (const Machine& m : all_machines()) {
+    std::vector<double> core, socket, system, oski, petsc;
+    for (const auto& entry : gen::suite_entries()) {
+      const MatrixModelInput in = analyze_matrix(suite.get(entry.name), m);
+      core.push_back(
+          predict(m, RunConfig::one_core(), in, OptLevel::kCacheBlocked)
+              .gflops);
+      socket.push_back(
+          predict(m, RunConfig::full_socket(m), in, OptLevel::kCacheBlocked)
+              .gflops);
+      system.push_back(
+          predict(m, RunConfig::full_system(m), in, OptLevel::kCacheBlocked)
+              .gflops);
+      if (!m.local_store && m.name != "Niagara") {
+        oski.push_back(predict_oski(m, in).gflops);
+        petsc.push_back(predict_oski_petsc(m, in).gflops);
+      }
+    }
+    socket_medians[m.name] = median(socket);
+    t.add_row({m.name, Table::fmt(median(core), 2),
+               Table::fmt(median(socket), 2), Table::fmt(median(system), 2),
+               oski.empty() ? "-" : Table::fmt(median(oski), 2),
+               petsc.empty() ? "-" : Table::fmt(median(petsc), 2)});
+  }
+  std::cout << "# Figure 2a reproduction (model), scale=" << cfg.scale
+            << "\n";
+  cfg.emit(t, "Figure 2a: median suite Gflop/s per platform");
+
+  // The paper's single-socket speedup claims for the Cell blade.
+  const double cell = socket_medians["Cell Blade"];
+  std::cout << "\n# Cell blade single-socket speedups (paper: 3.4x vs "
+               "Clovertown, 3.6x vs AMD X2, 12.8x vs Niagara):\n";
+  std::cout << "#   vs Clovertown: "
+            << Table::fmt(cell / socket_medians["Clovertown"], 1) << "x\n";
+  std::cout << "#   vs AMD X2:    "
+            << Table::fmt(cell / socket_medians["AMD X2"], 1) << "x\n";
+  std::cout << "#   vs Niagara:   "
+            << Table::fmt(cell / socket_medians["Niagara"], 1) << "x\n";
+  return 0;
+}

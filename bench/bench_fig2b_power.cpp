@@ -1,0 +1,45 @@
+// Regenerates Figure 2(b): power efficiency — full-system median Mflop/s
+// divided by full-system Watts (Table 1 power rows).
+#include "bench_common.h"
+
+#include "model/machine.h"
+#include "model/perf_model.h"
+#include "model/power.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::model;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::SuiteCache suite(cfg.scale);
+
+  Table t({"Machine", "median system Gflop/s", "system Watts",
+           "Mflop/s per Watt"});
+  std::map<std::string, double> eff;
+  for (const Machine& m : all_machines()) {
+    std::vector<double> system;
+    for (const auto& entry : gen::suite_entries()) {
+      const MatrixModelInput in = analyze_matrix(suite.get(entry.name), m);
+      system.push_back(
+          predict(m, RunConfig::full_system(m), in, OptLevel::kCacheBlocked)
+              .gflops);
+    }
+    const double med = median(system);
+    eff[m.name] = mflops_per_watt(m, med);
+    t.add_row({m.name, Table::fmt(med, 2), Table::fmt(m.watts_system, 0),
+               Table::fmt(eff[m.name], 1)});
+  }
+  std::cout << "# Figure 2b reproduction (model), scale=" << cfg.scale
+            << "\n";
+  cfg.emit(t, "Figure 2b: power efficiency");
+  std::cout << "\n# paper shape: Cell blade leads, PS3 close; advantage "
+               "~2.1x vs AMD X2, ~3.5x vs Clovertown, ~5.2x vs Niagara; "
+               "Niagara lowest despite the lowest chip power\n";
+  std::cout << "# Cell blade advantage here: "
+            << Table::fmt(eff["Cell Blade"] / eff["AMD X2"], 1) << "x vs AMD"
+            << ", " << Table::fmt(eff["Cell Blade"] / eff["Clovertown"], 1)
+            << "x vs Clovertown, "
+            << Table::fmt(eff["Cell Blade"] / eff["Niagara"], 1)
+            << "x vs Niagara\n";
+  return 0;
+}

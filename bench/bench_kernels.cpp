@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks for the kernel family: CSR flavors,
+// register-blocked shapes, index widths, and prefetch distances on a
+// representative FEM-class matrix.  This is the low-level companion to the
+// table/figure harnesses (run with --benchmark_filter=... as usual).
+#include <benchmark/benchmark.h>
+
+#include "core/encode.h"
+#include "core/kernels_block.h"
+#include "core/kernels_csr.h"
+#include "core/tuned_matrix.h"
+#include "gen/generators.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace spmv;
+
+const CsrMatrix& fem_matrix() {
+  static const CsrMatrix m = gen::fem_like(6000, 3, 18.0, 120, 42);
+  return m;
+}
+
+const CsrMatrix& scatter_matrix() {
+  static const CsrMatrix m = gen::uniform_random(20000, 20000, 8.0, 43);
+  return m;
+}
+
+std::vector<double> ones(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+void bench_csr_flavor(benchmark::State& state, const CsrMatrix& m,
+                      KernelFlavor flavor, unsigned prefetch) {
+  const auto x = ones(m.cols());
+  std::vector<double> y(m.rows(), 0.0);
+  for (auto _ : state) {
+    spmv_csr(m, x, y, flavor, prefetch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(m.nnz()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_CsrNaive(benchmark::State& s) {
+  bench_csr_flavor(s, fem_matrix(), KernelFlavor::kNaive, 0);
+}
+void BM_CsrSingleIndex(benchmark::State& s) {
+  bench_csr_flavor(s, fem_matrix(), KernelFlavor::kSingleIndex, 0);
+}
+void BM_CsrBranchless(benchmark::State& s) {
+  bench_csr_flavor(s, fem_matrix(), KernelFlavor::kBranchless, 0);
+}
+void BM_CsrPipelined(benchmark::State& s) {
+  bench_csr_flavor(s, fem_matrix(), KernelFlavor::kPipelined, 0);
+}
+void BM_CsrSimd(benchmark::State& s) {
+  bench_csr_flavor(s, fem_matrix(), KernelFlavor::kSimd, 0);
+}
+BENCHMARK(BM_CsrNaive);
+BENCHMARK(BM_CsrSingleIndex);
+BENCHMARK(BM_CsrBranchless);
+BENCHMARK(BM_CsrPipelined);
+BENCHMARK(BM_CsrSimd);
+
+void BM_CsrPrefetchSweep(benchmark::State& s) {
+  bench_csr_flavor(s, scatter_matrix(), KernelFlavor::kPipelined,
+                   static_cast<unsigned>(s.range(0)));
+}
+// The paper tunes prefetch distance from 0 to 512 doubles.
+BENCHMARK(BM_CsrPrefetchSweep)->Arg(0)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_BlockShape(benchmark::State& state) {
+  const CsrMatrix& m = fem_matrix();
+  const auto br = static_cast<unsigned>(state.range(0));
+  const auto bc = static_cast<unsigned>(state.range(1));
+  const BlockExtent whole{0, m.rows(), 0, m.cols()};
+  const IndexWidth idx = index_width_fits16(m, whole, br, bc,
+                                            BlockFormat::kBcsr)
+                             ? IndexWidth::k16
+                             : IndexWidth::k32;
+  const EncodedBlock blk =
+      encode_block(m, whole, br, bc, BlockFormat::kBcsr, idx);
+  const auto x = ones(m.cols());
+  std::vector<double> y(m.rows(), 0.0);
+  for (auto _ : state) {
+    run_block(blk, x.data(), y.data(), 0);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(m.nnz()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+  state.counters["fill"] =
+      static_cast<double>(blk.stored_nnz) / static_cast<double>(blk.true_nnz);
+}
+BENCHMARK(BM_BlockShape)
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({2, 4})
+    ->Args({4, 4});
+
+void BM_TunedFull(benchmark::State& state) {
+  const CsrMatrix& m = fem_matrix();
+  const TunedMatrix tuned = TunedMatrix::plan(
+      m, TuningOptions::full(static_cast<unsigned>(state.range(0))));
+  const auto x = ones(m.cols());
+  std::vector<double> y(m.rows(), 0.0);
+  for (auto _ : state) {
+    tuned.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(m.nnz()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TunedFull)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PlanCost(benchmark::State& state) {
+  const CsrMatrix& m = fem_matrix();
+  for (auto _ : state) {
+    const TunedMatrix tuned = TunedMatrix::plan(m, TuningOptions::full(1));
+    benchmark::DoNotOptimize(&tuned);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.nnz()));
+}
+BENCHMARK(BM_PlanCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

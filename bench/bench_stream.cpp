@@ -1,0 +1,88 @@
+// STREAM-style sustained-bandwidth microbenchmark.
+//
+// The paper validates its bandwidth-scaling conclusions with stream
+// benchmarking ("confirmed during MPI stream benchmarking", §6.3) and all
+// of its Table 4 analysis is anchored on sustained — not peak — bandwidth.
+// This binary measures the host's copy/scale/add/triad bandwidth at
+// increasing thread counts, the numbers an operator would use to populate
+// a Machine descriptor for this host (per_thread_gbps, socket ceiling).
+#include "bench_common.h"
+
+#include "core/thread_pool.h"
+#include "util/aligned.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::print_host_banner();
+
+  const Cli cli(argc, argv);
+  const std::size_t elems = static_cast<std::size_t>(
+      cli.get_double("mb", 64.0) * 1024 * 1024 / sizeof(double));
+  const unsigned max_threads = host_info().logical_cpus;
+
+  AlignedBuffer<double> a(elems, kPageBytes);
+  AlignedBuffer<double> b(elems, kPageBytes);
+  AlignedBuffer<double> c(elems, kPageBytes);
+  a.fill(1.0);
+  b.fill(2.0);
+  c.fill(0.0);
+
+  Table t({"threads", "copy GB/s", "scale GB/s", "add GB/s", "triad GB/s"});
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    ThreadPool pool(threads, /*pin=*/true);
+    auto run_kernel = [&](auto kernel, double bytes_per_elem) {
+      // First-touch warm-up, then best-of-5.
+      const auto chunk = elems / threads;
+      auto body = [&](unsigned tid) {
+        const std::size_t lo = tid * chunk;
+        const std::size_t hi = tid + 1 == threads ? elems : lo + chunk;
+        kernel(lo, hi);
+      };
+      pool.run(body);
+      double best = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        Timer timer;
+        pool.run(body);
+        const double s = timer.seconds();
+        best = std::max(best,
+                        static_cast<double>(elems) * bytes_per_elem / s / 1e9);
+      }
+      return best;
+    };
+
+    const double copy = run_kernel(
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) c[i] = a[i];
+        },
+        16.0);
+    const double scale = run_kernel(
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) b[i] = 3.0 * c[i];
+        },
+        16.0);
+    const double add = run_kernel(
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
+        },
+        24.0);
+    const double triad = run_kernel(
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + 3.0 * c[i];
+        },
+        24.0);
+    t.add_row({std::to_string(threads), Table::fmt(copy, 2),
+               Table::fmt(scale, 2), Table::fmt(add, 2),
+               Table::fmt(triad, 2)});
+    if (threads == max_threads) break;
+    if (threads * 2 > max_threads) {
+      // Also measure the exact max if it is not a power of two.
+      threads = max_threads / 2;
+    }
+  }
+  cfg.emit(t, "STREAM-style sustained bandwidth on this host");
+  std::cout << "\n# use the 1-thread triad as per_thread_gbps and the "
+               "max-thread triad over DRAM peak as socket_bw_efficiency "
+               "when adding this host as a model::Machine\n";
+  return 0;
+}

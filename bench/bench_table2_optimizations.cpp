@@ -1,0 +1,55 @@
+// Regenerates Table 2's content operationally: which optimizations the
+// tuner actually applies per suite matrix on this implementation —
+// register-block shapes chosen, format mix, index widths, cache-block
+// counts, and the storage compression each matrix achieves.
+#include "bench_common.h"
+
+#include <map>
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::SuiteCache suite(cfg.scale);
+
+  Table t({"Matrix", "cache blocks", "BCOO blocks", "idx16 blocks",
+           "reg-blocked", "top tile", "fill", "bytes/nnz", "vs CSR"});
+  for (const auto& entry : gen::suite_entries()) {
+    const CsrMatrix& m = suite.get(entry.name);
+    TuningOptions opt = TuningOptions::full(1);
+    const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+    const TuningReport& r = tuned.report();
+
+    // Most-common tile shape weighted by nnz.
+    std::map<std::string, std::uint64_t> tile_nnz;
+    for (const auto& b : r.blocks) {
+      tile_nnz[std::to_string(b.decision.br) + "x" +
+               std::to_string(b.decision.bc)] += b.decision.nnz;
+    }
+    std::string top_tile = "-";
+    std::uint64_t top_nnz = 0;
+    for (const auto& [shape, nnz] : tile_nnz) {
+      if (nnz > top_nnz) {
+        top_tile = shape;
+        top_nnz = nnz;
+      }
+    }
+
+    t.add_row({entry.name, std::to_string(r.cache_blocks),
+               std::to_string(r.blocks_bcoo), std::to_string(r.blocks_idx16),
+               std::to_string(r.blocks_register_blocked), top_tile,
+               Table::fmt(r.fill_ratio, 2),
+               Table::fmt(static_cast<double>(r.tuned_bytes) /
+                              static_cast<double>(std::max<std::uint64_t>(
+                                  1, r.nnz)),
+                          2),
+               Table::fmt(100.0 * r.compression_ratio(), 0) + "%"});
+  }
+  std::cout << "# Table 2 reproduction: tuner decisions per matrix, scale="
+            << cfg.scale << "\n";
+  cfg.emit(t, "Table 2: applied data-structure optimizations");
+  std::cout << "\n# paper §4.2: transformations can cut the naive 16 B/nnz "
+               "roughly in half; FEM matrices register-block well; "
+               "webbase/Circuit-style matrices fall back to small tiles "
+               "and BCOO where empty rows dominate\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Table 4: sustained memory bandwidth and computational rate
+// for the dense-in-sparse matrix, at one core / one socket / full system on
+// all five modeled platforms — plus the measured numbers for this host.
+#include "bench_common.h"
+
+#include "model/machine.h"
+#include "model/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::model;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  bench::print_host_banner();
+
+  const CsrMatrix dense = gen::generate_suite_matrix("Dense", cfg.scale);
+
+  Table t({"Machine", "BW 1core", "BW socket", "BW system", "GF 1core",
+           "GF socket", "GF system", "%peak BW sys", "%peak GF sys"});
+  for (const Machine& m : all_machines()) {
+    const MatrixModelInput in = analyze_matrix(dense, m);
+    const RunConfig cfgs[3] = {RunConfig::one_core(), RunConfig::full_socket(m),
+                               RunConfig::full_system(m)};
+    double bw[3], gf[3];
+    for (int i = 0; i < 3; ++i) {
+      const Prediction p =
+          predict(m, cfgs[i], in, OptLevel::kCacheBlocked);
+      bw[i] = p.sustained_gbps;
+      gf[i] = p.gflops;
+    }
+    t.add_row({m.name, Table::fmt(bw[0], 2), Table::fmt(bw[1], 2),
+               Table::fmt(bw[2], 2), Table::fmt(gf[0], 3),
+               Table::fmt(gf[1], 2), Table::fmt(gf[2], 2),
+               Table::fmt(100.0 * bw[2] / m.peak_dram_gbps_system(), 0) + "%",
+               Table::fmt(100.0 * gf[2] / m.peak_gflops_system(), 1) + "%"});
+  }
+  cfg.emit(t, "Table 4 (model): dense matrix sustained BW and Gflop/s");
+
+  std::cout << "\n# paper values: AMD X2 5.40/6.61/12.55 GB/s, "
+               "0.89*/1.63/3.09 GF; Clovertown 3.62/6.56/8.86, "
+               "0.89/1.62/2.18; Niagara 0.26/2.06/5.02, 0.065/0.51/1.24; "
+               "PS3 3.25/18.35/18.35, 0.65/3.67/3.67; "
+               "Blade 3.25/23.20/31.50, 0.65/4.64/6.30\n";
+
+  // Host measurement: the real tuned kernels on this machine.
+  const unsigned max_threads = host_info().logical_cpus;
+  Table h({"Host config", "Gflop/s", "Sustained GB/s (matrix stream)"});
+  for (unsigned threads : {1u, max_threads}) {
+    TuningOptions opt = TuningOptions::full(threads);
+    const double gf = bench::measure_tuned_gflops(dense, opt,
+                                                  cfg.measure_seconds);
+    // Dense-in-sparse at 4x4/16-bit moves ~8.2 bytes per nonzero.
+    const double gbps = gf / 2.0 * 8.2;
+    h.add_row({std::to_string(threads) + " thread(s)", Table::fmt(gf, 2),
+               Table::fmt(gbps, 2)});
+    if (max_threads == 1) break;
+  }
+  cfg.emit(h, "Table 4 (host-measured): dense matrix, tuned SpMV");
+  return 0;
+}

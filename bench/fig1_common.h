@@ -1,0 +1,78 @@
+// Shared ladder logic for the four Figure 1 charts: per-matrix effective
+// Gflop/s at increasing optimization / parallelism rungs on one modeled
+// platform, with OSKI and OSKI-PETSc reference columns where the paper
+// shows them, plus the median row the paper's Figure 2 summarizes.
+#pragma once
+
+#include "bench_common.h"
+
+#include "model/machine.h"
+#include "model/perf_model.h"
+#include "util/stats.h"
+
+namespace spmv::bench {
+
+struct LadderRung {
+  std::string label;
+  model::RunConfig config;
+  model::OptLevel level = model::OptLevel::kCacheBlocked;
+};
+
+struct LadderSpec {
+  model::Machine machine;
+  std::vector<LadderRung> rungs;
+  bool include_oski = false;
+  bool include_oski_petsc = false;
+};
+
+inline void run_figure1_ladder(const LadderSpec& spec,
+                               const BenchConfig& cfg,
+                               const std::string& title) {
+  using namespace spmv::model;
+  SuiteCache suite(cfg.scale);
+
+  std::vector<std::string> headers = {"Matrix"};
+  for (const auto& r : spec.rungs) headers.push_back(r.label);
+  if (spec.include_oski) headers.push_back("OSKI");
+  if (spec.include_oski_petsc) headers.push_back("OSKI-PETSc");
+  Table t(std::move(headers));
+
+  std::vector<std::vector<double>> columns(
+      spec.rungs.size() + (spec.include_oski ? 1 : 0) +
+      (spec.include_oski_petsc ? 1 : 0));
+
+  for (const auto& entry : gen::suite_entries()) {
+    const CsrMatrix& m = suite.get(entry.name);
+    const MatrixModelInput in = analyze_matrix(m, spec.machine);
+    std::vector<std::string> row = {entry.name};
+    std::size_t col = 0;
+    for (const auto& rung : spec.rungs) {
+      const Prediction p = predict(spec.machine, rung.config, in, rung.level);
+      columns[col++].push_back(p.gflops);
+      row.push_back(Table::fmt(p.gflops, 2));
+    }
+    if (spec.include_oski) {
+      const Prediction p = predict_oski(spec.machine, in);
+      columns[col++].push_back(p.gflops);
+      row.push_back(Table::fmt(p.gflops, 2));
+    }
+    if (spec.include_oski_petsc) {
+      const Prediction p = predict_oski_petsc(spec.machine, in);
+      columns[col++].push_back(p.gflops);
+      row.push_back(Table::fmt(p.gflops, 2));
+    }
+    t.add_row(std::move(row));
+  }
+
+  std::vector<std::string> med_row = {"Median"};
+  for (const auto& colvals : columns) {
+    med_row.push_back(Table::fmt(median(colvals), 2));
+  }
+  t.add_row(std::move(med_row));
+
+  std::cout << "# " << title << ", model-predicted effective Gflop/s, scale="
+            << cfg.scale << "\n";
+  cfg.emit(t, title);
+}
+
+}  // namespace spmv::bench

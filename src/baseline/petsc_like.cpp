@@ -1,0 +1,122 @@
+#include "baseline/petsc_like.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/partition.h"
+#include "matrix/coo.h"
+#include "util/timer.h"
+
+namespace spmv::baseline {
+
+PetscLikeSpmv PetscLikeSpmv::distribute(const CsrMatrix& a, unsigned ranks,
+                                        const RegisterProfile& profile) {
+  if (ranks == 0) throw std::invalid_argument("distribute: zero ranks");
+  PetscLikeSpmv s;
+  s.rows_ = a.rows();
+  s.cols_ = a.cols();
+  s.stats_.imbalance = 1.0;
+
+  // PETSc's default: equal rows per process.  The column space is likewise
+  // sliced so that rank p owns x[col range p] (square matrices: same split).
+  const std::vector<RowRange> row_parts = partition_rows_equal(a.rows(), ranks);
+  const std::vector<RowRange> col_parts = partition_rows_equal(a.cols(), ranks);
+  s.stats_.imbalance = partition_imbalance(a, row_parts);
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+
+  s.local_.resize(ranks);
+  for (unsigned p = 0; p < ranks; ++p) {
+    Rank& rank = s.local_[p];
+    rank.row0 = row_parts[p].begin;
+    rank.row1 = row_parts[p].end;
+    rank.own_col0 = col_parts[p].begin;
+    rank.own_cols = col_parts[p].size();
+
+    // Identify ghost columns: referenced columns outside the owned slice.
+    std::vector<std::uint32_t> ghosts;
+    for (std::uint32_t r = rank.row0; r < rank.row1; ++r) {
+      for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const std::uint32_t c = col_idx[k];
+        if (c < rank.own_col0 || c >= rank.own_col0 + rank.own_cols) {
+          ghosts.push_back(c);
+        }
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    rank.ghost_cols = std::move(ghosts);
+
+    // Build the local matrix with renumbered columns: own columns keep
+    // their slice offset, ghosts are appended after them.
+    const std::uint32_t local_cols =
+        rank.own_cols + static_cast<std::uint32_t>(rank.ghost_cols.size());
+    const std::uint32_t local_rows = rank.row1 - rank.row0;
+    if (local_rows == 0) {
+      rank.local_x.assign(std::max<std::uint32_t>(local_cols, 1), 0.0);
+      continue;
+    }
+    CooBuilder builder(std::max<std::uint32_t>(local_rows, 1),
+                       std::max<std::uint32_t>(local_cols, 1));
+    for (std::uint32_t r = rank.row0; r < rank.row1; ++r) {
+      for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const std::uint32_t c = col_idx[k];
+        std::uint32_t local_c;
+        if (c >= rank.own_col0 && c < rank.own_col0 + rank.own_cols) {
+          local_c = c - rank.own_col0;
+        } else {
+          const auto it = std::lower_bound(rank.ghost_cols.begin(),
+                                           rank.ghost_cols.end(), c);
+          local_c = rank.own_cols +
+                    static_cast<std::uint32_t>(it - rank.ghost_cols.begin());
+        }
+        builder.add(r - rank.row0, local_c, values[k]);
+      }
+    }
+    const CsrMatrix local = builder.build();
+    rank.matrix = std::make_unique<OskiLikeMatrix>(
+        OskiLikeMatrix::tune(local, profile));
+    rank.local_x.assign(local_cols, 0.0);
+  }
+  return s;
+}
+
+void PetscLikeSpmv::multiply(std::span<const double> x, std::span<double> y) {
+  if (x.size() < cols_ || y.size() < rows_) {
+    throw std::invalid_argument("PetscLikeSpmv::multiply: vector too short");
+  }
+  // Phase 1: ghost exchange.  With MPICH ch_shmem a message is a memcpy
+  // through a shared-memory segment: one copy out of the owner's slice
+  // into the requester's ghost buffer (plus the local own-slice copy into
+  // the contiguous local vector, which PETSc's VecScatter also performs).
+  Timer comm_timer;
+  for (Rank& rank : local_) {
+    if (!rank.matrix) continue;
+    std::copy_n(x.data() + rank.own_col0, rank.own_cols,
+                rank.local_x.data());
+    double* ghost_dst = rank.local_x.data() + rank.own_cols;
+    for (std::size_t g = 0; g < rank.ghost_cols.size(); ++g) {
+      ghost_dst[g] = x[rank.ghost_cols[g]];
+    }
+  }
+  stats_.comm_seconds += comm_timer.seconds();
+
+  // Phase 2: local OSKI-tuned multiplies.
+  Timer compute_timer;
+  for (Rank& rank : local_) {
+    if (!rank.matrix) continue;
+    rank.matrix->multiply(rank.local_x,
+                          y.subspan(rank.row0, rank.row1 - rank.row0));
+  }
+  stats_.compute_seconds += compute_timer.seconds();
+}
+
+void PetscLikeSpmv::reset_stats() {
+  const double imbalance = stats_.imbalance;
+  stats_ = PetscLikeStats{};
+  stats_.imbalance = imbalance;
+}
+
+}  // namespace spmv::baseline

@@ -1,0 +1,28 @@
+#include "core/blocked.h"
+
+namespace spmv {
+
+const char* to_string(BlockFormat fmt) {
+  return fmt == BlockFormat::kBcsr ? "BCSR" : "BCOO";
+}
+
+const char* to_string(IndexWidth w) {
+  return w == IndexWidth::k16 ? "16-bit" : "32-bit";
+}
+
+std::uint64_t encoding_footprint(std::uint64_t tiles, unsigned br, unsigned bc,
+                                 std::uint32_t rows, BlockFormat fmt,
+                                 IndexWidth idx) {
+  const std::uint64_t iw = idx == IndexWidth::k16 ? 2 : 4;
+  std::uint64_t bytes = tiles * br * bc * sizeof(double);  // padded values
+  bytes += tiles * iw;                                     // col index / tile
+  if (fmt == BlockFormat::kBcoo) {
+    bytes += tiles * iw;  // row index / tile
+  } else {
+    const std::uint64_t tile_rows = (static_cast<std::uint64_t>(rows) + br - 1) / br;
+    bytes += (tile_rows + 1) * sizeof(std::uint32_t);  // row_ptr
+  }
+  return bytes;
+}
+
+}  // namespace spmv

@@ -1,0 +1,85 @@
+// Encoded storage for one cache block of the tuned matrix.
+//
+// The tuned matrix is a hierarchy (paper §4.2/§4.3):
+//   thread block  →  cache blocks  →  register tiles.
+// Each cache block is independently encoded as register-blocked BCSR or
+// BCOO with 16- or 32-bit indices — the combination the one-pass tuner
+// found to minimize the block's memory footprint.  A block stores *element*
+// column offsets relative to its col0 so 16-bit indices work whenever the
+// block spans < 64Ki columns, exactly the paper's "dimension under 64k"
+// criterion applied per cache block.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace spmv {
+
+enum class BlockFormat : std::uint8_t {
+  kBcsr,  ///< block compressed sparse row: row_ptr over tile rows
+  kBcoo,  ///< block coordinate: explicit (tile_row, col) per tile
+};
+
+enum class IndexWidth : std::uint8_t { k16, k32 };
+
+const char* to_string(BlockFormat fmt);
+const char* to_string(IndexWidth w);
+
+inline std::size_t bytes_of(IndexWidth w) {
+  return w == IndexWidth::k16 ? 2 : 4;
+}
+
+/// One encoded cache block.  Invariants:
+///  * tile values are tile-major, row-major inside the tile:
+///    values[t*br*bc + i*bc + j] is element (i, j) of tile t;
+///  * BCSR: row_ptr has tile_rows()+1 entries of cumulative tile counts;
+///    the col index per tile is the *element* offset of the tile's first
+///    column from col0, with col0 + offset + bc <= matrix cols (edge tiles
+///    are shifted left to overlap rather than read past x);
+///  * BCOO: the row index per tile is the *element* offset of the tile's
+///    first row from row0, with row0 + offset + br <= row1 (edge tiles
+///    shifted up), col index as in BCSR;
+///  * exactly one of idx16 / idx32 is populated, per `idx`.
+struct EncodedBlock {
+  std::uint32_t row0 = 0, row1 = 0;  ///< global row range [row0, row1)
+  std::uint32_t col0 = 0, col1 = 0;  ///< global col range [col0, col1)
+  std::uint8_t br = 1, bc = 1;       ///< register tile dims
+  BlockFormat fmt = BlockFormat::kBcsr;
+  IndexWidth idx = IndexWidth::k32;
+  std::uint64_t tiles = 0;
+  std::uint64_t stored_nnz = 0;  ///< tiles*br*bc (incl. explicit zeros)
+  std::uint64_t true_nnz = 0;    ///< original nonzeros covered
+
+  AlignedBuffer<double> values;
+  AlignedBuffer<std::uint32_t> col32;
+  AlignedBuffer<std::uint16_t> col16;
+  AlignedBuffer<std::uint32_t> brow32;  ///< BCOO only
+  AlignedBuffer<std::uint16_t> brow16;  ///< BCOO only
+  AlignedBuffer<std::uint32_t> row_ptr;  ///< BCSR only, tile_rows()+1
+
+  [[nodiscard]] std::uint32_t tile_rows() const {
+    return (row1 - row0 + br - 1) / br;
+  }
+
+  /// Matrix-storage bytes this encoding occupies (the tuner's objective).
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    std::uint64_t bytes = stored_nnz * sizeof(double);
+    const std::uint64_t iw = idx == IndexWidth::k16 ? 2 : 4;
+    bytes += tiles * iw;  // column index per tile
+    if (fmt == BlockFormat::kBcoo) {
+      bytes += tiles * iw;  // row index per tile
+    } else {
+      bytes += (static_cast<std::uint64_t>(tile_rows()) + 1) * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+};
+
+/// Compute the footprint (in bytes) of a hypothetical encoding without
+/// materializing it — the tuner's one-pass objective function.
+std::uint64_t encoding_footprint(std::uint64_t tiles, unsigned br, unsigned bc,
+                                 std::uint32_t rows, BlockFormat fmt,
+                                 IndexWidth idx);
+
+}  // namespace spmv

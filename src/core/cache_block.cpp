@@ -1,0 +1,154 @@
+#include "core/cache_block.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv {
+
+std::vector<BlockExtent> plan_cache_blocks(const CsrMatrix& a,
+                                           std::uint32_t row0,
+                                           std::uint32_t row1,
+                                           const CacheBlockParams& p) {
+  if (row0 > row1 || row1 > a.rows()) {
+    throw std::out_of_range("plan_cache_blocks: bad row range");
+  }
+  std::vector<BlockExtent> out;
+  if (row0 == row1) return out;
+
+  if (!p.cache_blocking && !p.tlb_blocking) {
+    out.push_back({row0, row1, 0, a.cols()});
+    return out;
+  }
+  if (p.line_bytes < sizeof(double) || p.page_bytes < p.line_bytes) {
+    throw std::invalid_argument("plan_cache_blocks: bad line/page sizes");
+  }
+
+  const std::size_t elems_per_line = p.line_bytes / sizeof(double);
+  const std::size_t lines_per_page = p.page_bytes / p.line_bytes;
+  const std::size_t budget_lines = std::max<std::size_t>(
+      16, p.cache_bytes / p.line_bytes);
+  const auto dest_lines = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(budget_lines) *
+                                  p.dest_fraction));
+  const std::size_t src_budget =
+      p.cache_blocking ? std::max<std::size_t>(16, budget_lines - dest_lines)
+                       : SIZE_MAX;
+  const std::size_t page_budget =
+      p.tlb_blocking ? std::max<std::size_t>(4, p.tlb_entries) : SIZE_MAX;
+  const std::uint32_t rows_per_band =
+      p.cache_blocking
+          ? static_cast<std::uint32_t>(std::min<std::size_t>(
+                std::max<std::size_t>(64, dest_lines * elems_per_line),
+                row1 - row0))
+          : row1 - row0;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  std::vector<std::uint32_t> lines;  // reused per band
+
+  const std::size_t elems_per_page = p.page_bytes / sizeof(double);
+
+  for (std::uint32_t r0 = row0; r0 < row1; r0 += rows_per_band) {
+    const std::uint32_t r1 = std::min<std::uint32_t>(r0 + rows_per_band, row1);
+
+    // Fast path for streaming bands: if every row's column span already
+    // fits the source budget, the natural traversal captures all the x
+    // reuse there is, and column cuts would only fragment the encoding
+    // (this is what "accounting for cache utilization" buys over dense
+    // blocking on near-diagonal matrices like Epidemiology).
+    if (p.cache_blocking || p.tlb_blocking) {
+      std::size_t max_width_lines = 0;
+      for (std::uint32_t r = r0; r < r1; ++r) {
+        if (row_ptr[r] == row_ptr[r + 1]) continue;
+        const std::uint32_t first = col_idx[row_ptr[r]];
+        const std::uint32_t last = col_idx[row_ptr[r + 1] - 1];
+        max_width_lines =
+            std::max(max_width_lines,
+                     static_cast<std::size_t>(last / elems_per_line -
+                                              first / elems_per_line + 1));
+      }
+      const std::size_t width_pages =
+          max_width_lines / lines_per_page + 1;
+      if (max_width_lines <= src_budget && width_pages <= page_budget) {
+        out.push_back({r0, r1, 0, a.cols()});
+        continue;
+      }
+    }
+
+    // Distinct source cache lines the band touches, in column order.
+    lines.clear();
+    for (std::uint32_t r = r0; r < r1; ++r) {
+      for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        lines.push_back(col_idx[k] / static_cast<std::uint32_t>(elems_per_line));
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+    // TLB blocking is a per-row criterion (§4.2: "for each given row we
+    // determine the maximum number of columns based on the number of
+    // unique pages touched"): only a row whose live page set exceeds the
+    // TLB reach thrashes it.  If no row in the band does, skip page cuts
+    // for this band — a near-diagonal matrix streams through pages and
+    // must not be split.
+    std::size_t band_page_budget = page_budget;
+    if (p.tlb_blocking) {
+      std::size_t max_row_pages = 0;
+      for (std::uint32_t r = r0; r < r1; ++r) {
+        std::size_t row_pages = 0;
+        std::uint32_t last = UINT32_MAX;
+        for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+          const std::uint32_t page = col_idx[k] /
+                                     static_cast<std::uint32_t>(elems_per_page);
+          if (page != last) {
+            ++row_pages;
+            last = page;
+          }
+        }
+        max_row_pages = std::max(max_row_pages, row_pages);
+      }
+      if (max_row_pages <= page_budget) band_page_budget = SIZE_MAX;
+    }
+
+    // Walk lines, cutting a block whenever the source-line or unique-page
+    // budget fills.  Cuts are at line boundaries; blocks jointly cover all
+    // columns.
+    std::uint32_t block_col0 = 0;
+    std::size_t lines_in_block = 0;
+    std::size_t pages_in_block = 0;
+    std::uint32_t last_page = UINT32_MAX;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::uint32_t page =
+          lines[i] / static_cast<std::uint32_t>(lines_per_page);
+      if (page != last_page) {
+        ++pages_in_block;
+        last_page = page;
+      }
+      ++lines_in_block;
+      const bool full =
+          lines_in_block >= src_budget || pages_in_block >= band_page_budget;
+      if (full && i + 1 < lines.size()) {
+        const std::uint32_t cut = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(
+                (static_cast<std::uint64_t>(lines[i]) + 1) * elems_per_line,
+                a.cols()));
+        if (cut > block_col0) {
+          out.push_back({r0, r1, block_col0, cut});
+          block_col0 = cut;
+        }
+        lines_in_block = 0;
+        pages_in_block = 0;
+        last_page = UINT32_MAX;
+      }
+    }
+    // Final block of the band covers through the last column (also handles
+    // bands with no nonzeros at all).
+    if (block_col0 < a.cols() || out.empty() ||
+        out.back().row0 != r0) {
+      out.push_back({r0, r1, block_col0, a.cols()});
+    }
+  }
+  return out;
+}
+
+}  // namespace spmv

@@ -1,0 +1,49 @@
+// Sparse cache blocking and TLB blocking heuristics (paper §4.2).
+//
+// Classic ("dense") cache blocking spans a fixed number of columns per
+// block.  The paper's *sparse* cache blocking instead spans enough columns
+// that the number of source-vector cache lines actually *touched* equals a
+// budget — so every block has the same cache utilization even when column
+// density varies wildly.  TLB blocking applies the same idea to unique
+// source-vector pages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/encode.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+struct CacheBlockParams {
+  bool cache_blocking = true;
+  bool tlb_blocking = true;
+  /// Cache capacity the blocked working set may occupy.
+  std::size_t cache_bytes = 1024 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t page_bytes = 4096;
+  /// Unique source pages allowed per block (L1-DTLB reach; the paper blocks
+  /// for the Opteron's 64-entry L1 TLB).
+  std::size_t tlb_entries = 64;
+  /// Fraction of the cache-line budget reserved for the destination vector;
+  /// the remainder bounds the touched source lines.
+  double dest_fraction = 0.25;
+};
+
+/// Partition the row range [row0, row1) of `a` into cache-block extents.
+///
+/// Rows are first grouped into bands whose destination-vector footprint
+/// fits the dest share of the budget; each band is then split at column
+/// boundaries such that every block touches at most the source-line budget
+/// (and at most tlb_entries unique source pages).  With both features
+/// disabled this returns the single extent covering the whole range.
+///
+/// Guarantees: extents are disjoint, ordered, and exactly cover
+/// [row0, row1) × [0, cols).
+std::vector<BlockExtent> plan_cache_blocks(const CsrMatrix& a,
+                                           std::uint32_t row0,
+                                           std::uint32_t row1,
+                                           const CacheBlockParams& params);
+
+}  // namespace spmv

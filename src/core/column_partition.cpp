@@ -1,0 +1,110 @@
+#include "core/column_partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/encode.h"
+#include "core/kernels_block.h"
+#include "core/thread_pool.h"
+#include "core/tuner.h"
+
+namespace spmv {
+
+ColumnPartitionedSpmv ColumnPartitionedSpmv::plan(const CsrMatrix& a,
+                                                  const TuningOptions& opt) {
+  if (opt.threads == 0) {
+    throw std::invalid_argument("ColumnPartitionedSpmv: zero threads");
+  }
+  ColumnPartitionedSpmv s;
+  s.rows_ = a.rows();
+  s.cols_ = a.cols();
+  s.prefetch_ = opt.prefetch_distance;
+
+  // Column nonzero histogram -> nnz-balanced stripe boundaries.
+  std::vector<std::uint64_t> col_nnz(a.cols() + 1, 0);
+  for (const std::uint32_t c : a.col_idx()) ++col_nnz[c + 1];
+  for (std::uint32_t c = 0; c < a.cols(); ++c) col_nnz[c + 1] += col_nnz[c];
+  const std::uint64_t total = a.nnz();
+
+  const unsigned threads = opt.threads;
+  s.boundaries_.assign(threads + 1, 0);
+  s.boundaries_[threads] = a.cols();
+  std::uint32_t c = 0;
+  for (unsigned t = 1; t < threads; ++t) {
+    const std::uint64_t target = total * t / threads;
+    while (c < a.cols() && col_nnz[c] < target) ++c;
+    s.boundaries_[t] = c;
+  }
+  // Boundaries must be monotone even for degenerate inputs.
+  for (unsigned t = 1; t <= threads; ++t) {
+    s.boundaries_[t] = std::max(s.boundaries_[t], s.boundaries_[t - 1]);
+  }
+
+  s.stripes_.resize(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    const BlockExtent extent{0, a.rows(), s.boundaries_[t],
+                             s.boundaries_[t + 1]};
+    if (extent.col0 == extent.col1) continue;
+    const BlockDecision d = choose_encoding(a, extent, opt);
+    s.stripes_[t].blocks.push_back(
+        encode_block(a, extent, d.br, d.bc, d.fmt, d.idx));
+  }
+
+  s.private_y_.resize(threads);
+  if (threads > 1) {
+    s.pool_ = std::make_unique<ThreadPool>(threads, opt.pin_threads);
+    for (auto& py : s.private_y_) py.assign(a.rows(), 0.0);
+  }
+  return s;
+}
+
+ColumnPartitionedSpmv::ColumnPartitionedSpmv(ColumnPartitionedSpmv&&) noexcept =
+    default;
+ColumnPartitionedSpmv& ColumnPartitionedSpmv::operator=(
+    ColumnPartitionedSpmv&&) noexcept = default;
+ColumnPartitionedSpmv::~ColumnPartitionedSpmv() = default;
+
+void ColumnPartitionedSpmv::multiply(std::span<const double> x,
+                                     std::span<double> y) const {
+  if (x.size() < cols_ || y.size() < rows_) {
+    throw std::invalid_argument("ColumnPartitionedSpmv::multiply: short");
+  }
+  if (x.data() == y.data()) {
+    throw std::invalid_argument("ColumnPartitionedSpmv::multiply: aliasing");
+  }
+  const double* xp = x.data();
+  double* yp = y.data();
+
+  if (!pool_) {
+    for (const Stripe& stripe : stripes_) {
+      for (const EncodedBlock& blk : stripe.blocks) {
+        run_block(blk, xp, yp, prefetch_);
+      }
+    }
+    return;
+  }
+
+  const unsigned threads = static_cast<unsigned>(stripes_.size());
+  // Phase 1: each thread multiplies its stripe into its private y.
+  // Phase 2: chunked parallel reduction — thread t reduces row chunk t of
+  // every private vector into the caller's y, so writes stay disjoint.
+  pool_->run([&](unsigned t) {
+    auto& py = private_y_[t];
+    std::fill(py.begin(), py.end(), 0.0);
+    for (const EncodedBlock& blk : stripes_[t].blocks) {
+      run_block(blk, xp, py.data(), prefetch_);
+    }
+  });
+  pool_->run([&](unsigned t) {
+    const std::uint64_t r0 =
+        static_cast<std::uint64_t>(rows_) * t / threads;
+    const std::uint64_t r1 =
+        static_cast<std::uint64_t>(rows_) * (t + 1) / threads;
+    for (unsigned src = 0; src < threads; ++src) {
+      const double* py = private_y_[src].data();
+      for (std::uint64_t r = r0; r < r1; ++r) yp[r] += py[r];
+    }
+  });
+}
+
+}  // namespace spmv

@@ -1,0 +1,70 @@
+// Column-partitioned parallel SpMV (paper §4.3).
+//
+// The second parallelization strategy the paper names (and defers): each
+// thread owns a contiguous *column* stripe, balanced by nonzeros, and
+// computes a private destination vector from its stripe; a parallel
+// chunked reduction then folds the private vectors into y.  Column
+// partitioning trades the row approach's x-vector sharing for y-vector
+// reduction traffic — it wins when the source vector is the bottleneck
+// (LP-shaped matrices whose x exceeds every cache) and loses when rows
+// are short and the reduction dominates.
+//
+// Each stripe is register-block encoded with the same tuner as the row
+// path, so the comparison in the ablation bench isolates the partitioning
+// axis alone.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/blocked.h"
+#include "core/options.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+class ThreadPool;
+
+class ColumnPartitionedSpmv {
+ public:
+  /// Plan: split columns into `opt.threads` nnz-balanced stripes and
+  /// encode each with the footprint tuner.
+  static ColumnPartitionedSpmv plan(const CsrMatrix& a,
+                                    const TuningOptions& opt);
+
+  ColumnPartitionedSpmv(ColumnPartitionedSpmv&&) noexcept;
+  ColumnPartitionedSpmv& operator=(ColumnPartitionedSpmv&&) noexcept;
+  ~ColumnPartitionedSpmv();
+
+  /// y ← y + A·x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] unsigned threads() const {
+    return static_cast<unsigned>(stripes_.size());
+  }
+  /// Column boundaries chosen (for tests: stripe t covers
+  /// [boundaries[t], boundaries[t+1])).
+  [[nodiscard]] const std::vector<std::uint32_t>& boundaries() const {
+    return boundaries_;
+  }
+
+ private:
+  ColumnPartitionedSpmv() = default;
+
+  struct Stripe {
+    std::vector<EncodedBlock> blocks;
+  };
+
+  std::uint32_t rows_ = 0, cols_ = 0;
+  unsigned prefetch_ = 0;
+  std::vector<Stripe> stripes_;
+  std::vector<std::uint32_t> boundaries_;
+  /// Private destination vectors, one per thread (rows_ doubles each).
+  mutable std::vector<std::vector<double>> private_y_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace spmv

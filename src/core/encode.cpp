@@ -1,0 +1,305 @@
+#include "core/encode.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace spmv {
+
+namespace {
+
+constexpr std::array<unsigned, 3> kDims = TileCounts::kDims;
+
+int dim_slot(unsigned d) {
+  switch (d) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    default: return -1;
+  }
+}
+
+void check_extent(const CsrMatrix& a, const BlockExtent& e) {
+  if (e.row0 > e.row1 || e.row1 > a.rows() || e.col0 > e.col1 ||
+      e.col1 > a.cols()) {
+    throw std::out_of_range("block extent outside matrix");
+  }
+}
+
+}  // namespace
+
+std::uint64_t TileCounts::at(unsigned br, unsigned bc) const {
+  const int ri = dim_slot(br);
+  const int ci = dim_slot(bc);
+  if (ri < 0 || ci < 0) throw std::out_of_range("TileCounts::at: bad dims");
+  return counts[static_cast<std::size_t>(ri)][static_cast<std::size_t>(ci)];
+}
+
+TileCounts count_tiles(const CsrMatrix& a, const BlockExtent& e) {
+  check_extent(a, e);
+  TileCounts tc;
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+
+  // For each tile height, scan stripes of that many rows merging their
+  // column streams; track, for each candidate width, the last tile-column
+  // seen so a new tile is counted exactly when the tile-column changes.
+  for (std::size_t ri = 0; ri < kDims.size(); ++ri) {
+    const unsigned br = kDims[ri];
+    for (std::uint32_t r0 = e.row0; r0 < e.row1; r0 += br) {
+      const std::uint32_t r1 = std::min<std::uint32_t>(r0 + br, e.row1);
+      // Cursor per row of the stripe, pre-advanced into [col0, col1).
+      std::array<std::uint64_t, 4> cur{}, end{};
+      const unsigned height = r1 - r0;
+      for (unsigned i = 0; i < height; ++i) {
+        const std::uint32_t* begin = col_idx.data() + row_ptr[r0 + i];
+        const std::uint32_t* stop = col_idx.data() + row_ptr[r0 + i + 1];
+        cur[i] = row_ptr[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col0) - begin);
+        end[i] = row_ptr[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col1) - begin);
+      }
+      std::array<std::uint64_t, 3> last_tile = {~0ull, ~0ull, ~0ull};
+      for (;;) {
+        // The smallest pending column across the stripe.
+        std::uint32_t next_col = UINT32_MAX;
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i]) next_col = std::min(next_col, col_idx[cur[i]]);
+        }
+        if (next_col == UINT32_MAX) break;
+        if (br == 1 && ri == 0) {
+          // Height 1 visits every nonzero exactly once: count nnz here.
+          ++tc.nnz;
+        }
+        const std::uint32_t off = next_col - e.col0;
+        for (std::size_t ci = 0; ci < kDims.size(); ++ci) {
+          const std::uint64_t tile = off / kDims[ci];
+          if (tile != last_tile[ci]) {
+            ++tc.counts[ri][ci];
+            last_tile[ci] = tile;
+          }
+        }
+        // Advance exactly the cursors sitting on next_col.
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i] && col_idx[cur[i]] == next_col) ++cur[i];
+        }
+      }
+    }
+  }
+  return tc;
+}
+
+bool index_width_fits16(const CsrMatrix& a, const BlockExtent& e, unsigned br,
+                        unsigned bc, BlockFormat fmt) {
+  check_extent(a, e);
+  // Column offsets go up to min(col span, matrix cols - col0) - bc; the
+  // conservative bound below covers the shifted edge tiles too.
+  const std::uint64_t col_span = e.col1 - e.col0;
+  if (col_span > 0 && col_span - std::min<std::uint64_t>(bc, col_span) >
+                          0xffffull) {
+    return false;
+  }
+  if (fmt == BlockFormat::kBcoo) {
+    const std::uint64_t row_span = e.row1 - e.row0;
+    if (row_span > 0 && row_span - std::min<std::uint64_t>(br, row_span) >
+                            0xffffull) {
+      return false;
+    }
+  }
+  return true;
+}
+
+EncodedBlock encode_block(const CsrMatrix& a, const BlockExtent& e,
+                          unsigned br, unsigned bc, BlockFormat fmt,
+                          IndexWidth idx) {
+  check_extent(a, e);
+  if (dim_slot(br) < 0 || dim_slot(bc) < 0) {
+    throw std::invalid_argument("encode_block: unsupported tile dims");
+  }
+  const std::uint32_t row_span = e.row1 - e.row0;
+  const std::uint32_t col_span = e.col1 - e.col0;
+  // Degenerate extents (empty row/col range) encode as empty blocks.
+  if (row_span == 0 || col_span == 0) {
+    EncodedBlock blk;
+    blk.row0 = e.row0;
+    blk.row1 = e.row1;
+    blk.col0 = e.col0;
+    blk.col1 = e.col1;
+    blk.br = static_cast<std::uint8_t>(br);
+    blk.bc = static_cast<std::uint8_t>(bc);
+    blk.fmt = fmt;
+    blk.idx = idx;
+    blk.row_ptr = AlignedBuffer<std::uint32_t>(
+        fmt == BlockFormat::kBcsr ? blk.tile_rows() + 1 : 0);
+    blk.row_ptr.zero();
+    return blk;
+  }
+  // Tiles cannot be taller/wider than the extent (the shift trick needs
+  // room); clamp down to the largest fitting power-of-two dim.
+  while (br > 1 && br > row_span) br /= 2;
+  while (bc > 1 && bc > col_span) bc /= 2;
+  if (idx == IndexWidth::k16 && !index_width_fits16(a, e, br, bc, fmt)) {
+    throw std::invalid_argument("encode_block: 16-bit indices do not fit");
+  }
+
+  const auto row_ptr_in = a.row_ptr();
+  const auto col_idx_in = a.col_idx();
+  const auto values_in = a.values();
+
+  EncodedBlock blk;
+  blk.row0 = e.row0;
+  blk.row1 = e.row1;
+  blk.col0 = e.col0;
+  blk.col1 = e.col1;
+  blk.br = static_cast<std::uint8_t>(br);
+  blk.bc = static_cast<std::uint8_t>(bc);
+  blk.fmt = fmt;
+  blk.idx = idx;
+
+  const std::uint32_t tile_rows = (row_span + br - 1) / br;
+
+  // Pass 1: count tiles per tile row (and total), to size the arrays.
+  std::vector<std::uint32_t> tiles_in_row(tile_rows, 0);
+  std::uint64_t total_tiles = 0;
+  {
+    std::array<std::uint64_t, 4> cur{}, end{};
+    for (std::uint32_t tr = 0; tr < tile_rows; ++tr) {
+      const std::uint32_t r0 = e.row0 + tr * br;
+      const std::uint32_t r1 = std::min<std::uint32_t>(r0 + br, e.row1);
+      const unsigned height = r1 - r0;
+      for (unsigned i = 0; i < height; ++i) {
+        const std::uint32_t* begin = col_idx_in.data() + row_ptr_in[r0 + i];
+        const std::uint32_t* stop = col_idx_in.data() + row_ptr_in[r0 + i + 1];
+        cur[i] = row_ptr_in[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col0) - begin);
+        end[i] = row_ptr_in[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col1) - begin);
+      }
+      std::uint64_t last_tile = ~0ull;
+      for (;;) {
+        std::uint32_t next_col = UINT32_MAX;
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i]) {
+            next_col = std::min(next_col, col_idx_in[cur[i]]);
+          }
+        }
+        if (next_col == UINT32_MAX) break;
+        const std::uint64_t tile = (next_col - e.col0) / bc;
+        if (tile != last_tile) {
+          ++tiles_in_row[tr];
+          ++total_tiles;
+          last_tile = tile;
+        }
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i] && col_idx_in[cur[i]] == next_col) ++cur[i];
+        }
+      }
+    }
+  }
+
+  blk.tiles = total_tiles;
+  blk.stored_nnz = total_tiles * br * bc;
+  blk.values = AlignedBuffer<double>(blk.stored_nnz);
+  blk.values.zero();
+  const bool idx16 = idx == IndexWidth::k16;
+  if (idx16) {
+    blk.col16 = AlignedBuffer<std::uint16_t>(total_tiles);
+  } else {
+    blk.col32 = AlignedBuffer<std::uint32_t>(total_tiles);
+  }
+  if (fmt == BlockFormat::kBcoo) {
+    if (idx16) {
+      blk.brow16 = AlignedBuffer<std::uint16_t>(total_tiles);
+    } else {
+      blk.brow32 = AlignedBuffer<std::uint32_t>(total_tiles);
+    }
+  } else {
+    blk.row_ptr = AlignedBuffer<std::uint32_t>(tile_rows + 1);
+    blk.row_ptr[0] = 0;
+    for (std::uint32_t tr = 0; tr < tile_rows; ++tr) {
+      blk.row_ptr[tr + 1] = blk.row_ptr[tr] + tiles_in_row[tr];
+    }
+  }
+
+  // Pass 2: fill tile payloads.  Same merge order as pass 1, so tile t is
+  // assigned deterministically.
+  std::uint64_t t = 0;
+  {
+    std::array<std::uint64_t, 4> cur{}, end{};
+    for (std::uint32_t tr = 0; tr < tile_rows; ++tr) {
+      const std::uint32_t r0 = e.row0 + tr * br;
+      const std::uint32_t r1 = std::min<std::uint32_t>(r0 + br, e.row1);
+      const unsigned height = r1 - r0;
+      for (unsigned i = 0; i < height; ++i) {
+        const std::uint32_t* begin = col_idx_in.data() + row_ptr_in[r0 + i];
+        const std::uint32_t* stop = col_idx_in.data() + row_ptr_in[r0 + i + 1];
+        cur[i] = row_ptr_in[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col0) - begin);
+        end[i] = row_ptr_in[r0 + i] +
+                 static_cast<std::uint64_t>(
+                     std::lower_bound(begin, stop, e.col1) - begin);
+      }
+      // BCOO row base: element offset, shifted up at the ragged tail.
+      const std::uint32_t row_base =
+          std::min<std::uint32_t>(tr * br, row_span - br);
+      std::uint64_t last_tile = ~0ull;
+      std::uint32_t col_base = 0;
+      for (;;) {
+        std::uint32_t next_col = UINT32_MAX;
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i]) {
+            next_col = std::min(next_col, col_idx_in[cur[i]]);
+          }
+        }
+        if (next_col == UINT32_MAX) break;
+        const std::uint64_t tile = (next_col - e.col0) / bc;
+        if (tile != last_tile) {
+          // New tile: emit its base column, shifted left if it would read
+          // past the matrix's last column.
+          const std::uint64_t natural = tile * bc;
+          const std::uint64_t max_base =
+              static_cast<std::uint64_t>(a.cols()) - e.col0 - bc;
+          col_base = static_cast<std::uint32_t>(std::min(natural, max_base));
+          if (idx16) {
+            blk.col16[t] = static_cast<std::uint16_t>(col_base);
+          } else {
+            blk.col32[t] = col_base;
+          }
+          if (fmt == BlockFormat::kBcoo) {
+            if (idx16) {
+              blk.brow16[t] = static_cast<std::uint16_t>(row_base);
+            } else {
+              blk.brow32[t] = row_base;
+            }
+          }
+          ++t;
+          last_tile = tile;
+        }
+        // Deposit every stripe nonzero sitting on next_col into tile t-1.
+        double* payload = blk.values.data() + (t - 1) * br * bc;
+        for (unsigned i = 0; i < height; ++i) {
+          if (cur[i] < end[i] && col_idx_in[cur[i]] == next_col) {
+            std::uint32_t local_row = r0 + i - e.row0;
+            if (fmt == BlockFormat::kBcoo) {
+              local_row -= row_base;
+            } else {
+              local_row -= tr * br;
+            }
+            const std::uint32_t local_col = next_col - e.col0 - col_base;
+            payload[local_row * bc + local_col] = values_in[cur[i]];
+            ++blk.true_nnz;
+            ++cur[i];
+          }
+        }
+      }
+    }
+  }
+  return blk;
+}
+
+}  // namespace spmv

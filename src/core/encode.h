@@ -1,0 +1,48 @@
+// Encoding a CSR sub-block into register-blocked storage, and the one-pass
+// tile counting the tuner's footprint objective needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/blocked.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+/// A rectangular region of the source matrix destined to become one
+/// EncodedBlock.
+struct BlockExtent {
+  std::uint32_t row0 = 0, row1 = 0;
+  std::uint32_t col0 = 0, col1 = 0;
+};
+
+/// Tile counts for every candidate register-block shape, computed in one
+/// pass per tile height (the paper's tuner takes "one pass over the
+/// nonzeros"; ours takes one pass per candidate height, three total).
+/// counts[ri][ci] is the non-empty tile count for dims {1,2,4}[ri] ×
+/// {1,2,4}[ci].
+struct TileCounts {
+  std::array<std::array<std::uint64_t, 3>, 3> counts = {};
+  std::uint64_t nnz = 0;
+
+  static constexpr std::array<unsigned, 3> kDims = {1, 2, 4};
+
+  [[nodiscard]] std::uint64_t at(unsigned br, unsigned bc) const;
+};
+
+TileCounts count_tiles(const CsrMatrix& a, const BlockExtent& extent);
+
+/// Encode the sub-block `extent` of `a` with the given register-block shape,
+/// format, and index width.  The caller must have verified 16-bit
+/// feasibility (see index_width_fits).  Tile padding stores explicit zeros;
+/// edge tiles are shifted to respect the kernel boundary contract.
+EncodedBlock encode_block(const CsrMatrix& a, const BlockExtent& extent,
+                          unsigned br, unsigned bc, BlockFormat fmt,
+                          IndexWidth idx);
+
+/// Whether 16-bit indices can address this extent with tile shape br × bc.
+bool index_width_fits16(const CsrMatrix& a, const BlockExtent& extent,
+                        unsigned br, unsigned bc, BlockFormat fmt);
+
+}  // namespace spmv

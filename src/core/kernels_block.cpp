@@ -1,0 +1,58 @@
+#include "core/kernels_block.h"
+
+#include <stdexcept>
+
+namespace spmv {
+
+namespace {
+
+// Power-of-two tile dims up to 4×4, as in the paper (§4.2: "we limit
+// ourselves to power-of-two block sizes up to 4×4, to enable SIMDization
+// and minimize register pressure").
+constexpr unsigned kDims[] = {1, 2, 4};
+
+constexpr int dim_slot(unsigned d) {
+  return d == 1 ? 0 : d == 2 ? 1 : d == 4 ? 2 : -1;
+}
+
+template <unsigned R, unsigned C>
+BlockKernelFn pick(BlockFormat fmt, IndexWidth idx) {
+  if (fmt == BlockFormat::kBcsr) {
+    return idx == IndexWidth::k16 ? detail::bcsr_kernel<R, C, std::uint16_t>
+                                  : detail::bcsr_kernel<R, C, std::uint32_t>;
+  }
+  return idx == IndexWidth::k16 ? detail::bcoo_kernel<R, C, std::uint16_t>
+                                : detail::bcoo_kernel<R, C, std::uint32_t>;
+}
+
+template <unsigned R>
+BlockKernelFn pick_c(unsigned bc, BlockFormat fmt, IndexWidth idx) {
+  switch (bc) {
+    case 1: return pick<R, 1>(fmt, idx);
+    case 2: return pick<R, 2>(fmt, idx);
+    case 4: return pick<R, 4>(fmt, idx);
+    default: throw std::out_of_range("block_kernel: unsupported tile cols");
+  }
+}
+
+}  // namespace
+
+BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
+                           unsigned bc) {
+  if (dim_slot(br) < 0 || dim_slot(bc) < 0) {
+    throw std::out_of_range("block_kernel: unsupported tile shape");
+  }
+  switch (br) {
+    case 1: return pick_c<1>(bc, fmt, idx);
+    case 2: return pick_c<2>(bc, fmt, idx);
+    case 4: return pick_c<4>(bc, fmt, idx);
+    default: throw std::out_of_range("block_kernel: unsupported tile rows");
+  }
+}
+
+void run_block(const EncodedBlock& b, const double* x, double* y,
+               unsigned prefetch_distance) {
+  block_kernel(b.fmt, b.idx, b.br, b.bc)(b, x, y, prefetch_distance);
+}
+
+}  // namespace spmv

@@ -1,0 +1,207 @@
+// Register-blocked SpMV kernels.
+//
+// The paper generated these with a Perl script over {format} × {r × c} ×
+// {index width}; here the generator is the C++ template machinery.  Each
+// instantiation has fully unrolled r×c tile arithmetic (enabling SIMD
+// autovectorization), a single streaming cursor over the tile arrays, and
+// optional software prefetch of values and indices.
+//
+// Boundary contract (established by the encoder, see encode.cpp):
+//  * column offsets satisfy col0 + cols[t] + C <= matrix cols, so gathers
+//    never read past x (edge tiles are shifted left to overlap instead);
+//  * BCOO row offsets are *element* offsets with row0 + brows[t] + R <=
+//    row1, so scatters never write outside the block's rows (edge tiles
+//    shifted up);
+//  * BCSR handles a ragged final tile row explicitly, because its grid is
+//    anchored at row0 and cannot shift.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "core/blocked.h"
+
+namespace spmv {
+
+/// y ← y + block·x for one encoded cache block.  `x` and `y` are the global
+/// vectors (the block adds its col0/row0 offsets internally).
+using BlockKernelFn = void (*)(const EncodedBlock&, const double* x,
+                               double* y, unsigned prefetch_distance);
+
+/// Look up the specialized kernel for a block's (fmt, idx, br, bc).
+/// Throws std::out_of_range for unsupported tile shapes.
+BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
+                           unsigned bc);
+
+/// Convenience: run the right kernel for `b`.
+void run_block(const EncodedBlock& b, const double* x, double* y,
+               unsigned prefetch_distance);
+
+namespace detail {
+
+template <typename Idx>
+const Idx* col_array(const EncodedBlock& b) {
+  if constexpr (sizeof(Idx) == 2) {
+    return b.col16.data();
+  } else {
+    return b.col32.data();
+  }
+}
+
+template <typename Idx>
+const Idx* brow_array(const EncodedBlock& b) {
+  if constexpr (sizeof(Idx) == 2) {
+    return b.brow16.data();
+  } else {
+    return b.brow32.data();
+  }
+}
+
+#if defined(__AVX2__)
+inline double hsum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swap = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swap));
+}
+#endif
+
+template <unsigned R, unsigned C, typename Idx>
+void bcsr_kernel(const EncodedBlock& b, const double* x, double* y,
+                 unsigned prefetch_distance) {
+  const double* v = b.values.data();
+  const Idx* cols = col_array<Idx>(b);
+  const std::uint32_t* rp = b.row_ptr.data();
+  const double* xb = x + b.col0;
+  double* yb = y + b.row0;
+  const std::uint32_t span = b.row1 - b.row0;
+  const std::uint32_t full_tile_rows = span / R;
+  const std::uint32_t tail_height = span % R;
+  const std::uint64_t pf = prefetch_distance;
+
+  std::uint64_t t = 0;
+  for (std::uint32_t tr = 0; tr < full_tile_rows; ++tr) {
+    const std::uint64_t end = rp[tr + 1];
+    if constexpr (R == 1 && C == 1) {
+      // Software-pipelined scalar path (§4.1): unrolled by four with
+      // independent accumulators, exactly like the tuned CSR kernel —
+      // 1x1 tiles are plain CSR and deserve the same treatment.
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (; t + 4 <= end; t += 4) {
+        if (pf != 0) {
+          __builtin_prefetch(v + t + pf, 0, 0);
+          __builtin_prefetch(cols + t + pf, 0, 0);
+        }
+        a0 += v[t + 0] * xb[cols[t + 0]];
+        a1 += v[t + 1] * xb[cols[t + 1]];
+        a2 += v[t + 2] * xb[cols[t + 2]];
+        a3 += v[t + 3] * xb[cols[t + 3]];
+      }
+      for (; t < end; ++t) a0 += v[t] * xb[cols[t]];
+      yb[tr] += (a0 + a1) + (a2 + a3);
+    }
+#if defined(__AVX2__)
+    else if constexpr (C == 4) {
+      // Explicit SIMDization (paper Table 2): each tile row is one 256-bit
+      // FMA against the gathered-but-contiguous x window; per-row vector
+      // accumulators reduce once per tile row.
+      __m256d acc[R];
+      for (unsigned i = 0; i < R; ++i) acc[i] = _mm256_setzero_pd();
+      for (; t < end; ++t) {
+        if (pf != 0) {
+          __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
+          __builtin_prefetch(cols + t + pf, 0, 0);
+        }
+        const double* tile = v + t * R * C;
+        const __m256d xv = _mm256_loadu_pd(xb + cols[t]);
+        for (unsigned i = 0; i < R; ++i) {
+          acc[i] = _mm256_fmadd_pd(_mm256_loadu_pd(tile + i * 4), xv, acc[i]);
+        }
+      }
+      double* ys = yb + static_cast<std::uint64_t>(tr) * R;
+      for (unsigned i = 0; i < R; ++i) ys[i] += hsum256(acc[i]);
+    }
+#endif
+    else {
+      double acc[R] = {};
+      for (; t < end; ++t) {
+        if (pf != 0) {
+          __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
+          __builtin_prefetch(cols + t + pf, 0, 0);
+        }
+        const double* tile = v + t * R * C;
+        const double* xs = xb + cols[t];
+        for (unsigned i = 0; i < R; ++i) {
+          double a = 0.0;
+          for (unsigned j = 0; j < C; ++j) {
+            a += tile[i * C + j] * xs[j];
+          }
+          acc[i] += a;
+        }
+      }
+      double* ys = yb + static_cast<std::uint64_t>(tr) * R;
+      for (unsigned i = 0; i < R; ++i) ys[i] += acc[i];
+    }
+  }
+  if (tail_height != 0) {
+    // Ragged final tile row: compute the full tile (padding rows hold
+    // explicit zeros) but write only the rows that exist.
+    const std::uint64_t end = rp[full_tile_rows + 1];
+    double acc[R] = {};
+    for (; t < end; ++t) {
+      const double* tile = v + t * R * C;
+      const double* xs = xb + cols[t];
+      for (unsigned i = 0; i < R; ++i) {
+        double a = 0.0;
+        for (unsigned j = 0; j < C; ++j) {
+          a += tile[i * C + j] * xs[j];
+        }
+        acc[i] += a;
+      }
+    }
+    double* ys = yb + static_cast<std::uint64_t>(full_tile_rows) * R;
+    for (unsigned i = 0; i < tail_height; ++i) ys[i] += acc[i];
+  }
+}
+
+template <unsigned R, unsigned C, typename Idx>
+void bcoo_kernel(const EncodedBlock& b, const double* x, double* y,
+                 unsigned prefetch_distance) {
+  const double* v = b.values.data();
+  const Idx* cols = col_array<Idx>(b);
+  const Idx* brows = brow_array<Idx>(b);
+  const double* xb = x + b.col0;
+  double* yb = y + b.row0;
+  const std::uint64_t tiles = b.tiles;
+  const std::uint64_t pf = prefetch_distance;
+
+  // Branchless by construction: no row loop at all, every tile carries its
+  // own destination offset (the paper uses BCOO exactly for matrices whose
+  // empty rows would make the BCSR row loop waste time and storage).
+  for (std::uint64_t t = 0; t < tiles; ++t) {
+    if (pf != 0) {
+      __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
+      __builtin_prefetch(cols + t + pf, 0, 0);
+      __builtin_prefetch(brows + t + pf, 0, 0);
+    }
+    const double* tile = v + t * R * C;
+    const double* xs = xb + cols[t];
+    double* ys = yb + brows[t];
+    for (unsigned i = 0; i < R; ++i) {
+      double a = 0.0;
+      for (unsigned j = 0; j < C; ++j) {
+        a += tile[i * C + j] * xs[j];
+      }
+      ys[i] += a;
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace spmv

@@ -1,0 +1,30 @@
+// Plain-CSR kernel flavors — the paper's *code* optimizations (§4.1), which
+// change how the loop is written but not the data structure.  These power
+// the "naive → +prefetch" rungs of the Figure 1 ladders and serve as
+// reference points for the blocked kernels.
+#pragma once
+
+#include <span>
+
+#include "core/options.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+/// y ← y + A·x with the requested flavor.  `prefetch_distance` is in value
+/// elements ahead of the cursor (0 = no software prefetch).
+void spmv_csr(const CsrMatrix& a, std::span<const double> x,
+              std::span<double> y, KernelFlavor flavor,
+              unsigned prefetch_distance = 0);
+
+/// Individual flavors (exposed for targeted tests and microbenchmarks).
+void spmv_csr_naive(const CsrMatrix& a, const double* x, double* y);
+void spmv_csr_single_index(const CsrMatrix& a, const double* x, double* y,
+                           unsigned prefetch_distance);
+void spmv_csr_branchless(const CsrMatrix& a, const double* x, double* y);
+void spmv_csr_pipelined(const CsrMatrix& a, const double* x, double* y,
+                        unsigned prefetch_distance);
+void spmv_csr_simd(const CsrMatrix& a, const double* x, double* y,
+                   unsigned prefetch_distance);
+
+}  // namespace spmv

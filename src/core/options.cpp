@@ -1,0 +1,16 @@
+#include "core/options.h"
+
+namespace spmv {
+
+const char* to_string(KernelFlavor flavor) {
+  switch (flavor) {
+    case KernelFlavor::kNaive: return "naive";
+    case KernelFlavor::kSingleIndex: return "single-index";
+    case KernelFlavor::kBranchless: return "branchless";
+    case KernelFlavor::kPipelined: return "pipelined";
+    case KernelFlavor::kSimd: return "simd";
+  }
+  return "?";
+}
+
+}  // namespace spmv

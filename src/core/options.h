@@ -1,0 +1,91 @@
+// Tuning knobs for the multicore SpMV implementation.
+//
+// These correspond one-to-one to the optimization categories of the paper's
+// Table 2: code optimizations (kernel flavor, prefetch distance), data
+// structure optimizations (register blocking, BCOO, index compression,
+// cache/TLB blocking), and parallelization optimizations (threads, affinity,
+// NUMA-aware first touch).
+#pragma once
+
+#include <cstddef>
+
+namespace spmv {
+
+/// Low-level inner-loop implementation strategy (paper §4.1).
+enum class KernelFlavor {
+  kNaive,        ///< conventional CSR: per-row begin/end pointer loads
+  kSingleIndex,  ///< one streaming nonzero cursor (paper's simplified loop)
+  kBranchless,   ///< segmented-scan-style flush, no inner-loop branch
+  kPipelined,    ///< manually software-pipelined / unrolled inner loop
+  kSimd,         ///< explicit SIMD (AVX2 gather when available)
+};
+
+const char* to_string(KernelFlavor flavor);
+
+struct TuningOptions {
+  // --- data structure optimizations (§4.2) ---
+  /// Allow register blocking with power-of-two tiles up to
+  /// max_block_rows × max_block_cols.
+  bool register_blocking = true;
+  unsigned max_block_rows = 4;
+  unsigned max_block_cols = 4;
+  /// Allow BCOO storage where empty rows would waste row-pointer space.
+  bool allow_bcoo = true;
+  /// Allow 16-bit column (and BCOO row) indices when the block fits.
+  bool index_compression = true;
+  /// Sparse cache blocking: bound the source-vector cache lines touched per
+  /// block (heuristic, not search).
+  bool cache_blocking = true;
+  /// Cache capacity the blocking heuristic may assume; 0 = probe the host.
+  std::size_t cache_bytes_for_blocking = 0;
+  /// TLB blocking: additionally bound unique source-vector pages per block.
+  bool tlb_blocking = true;
+  /// TLB reach in entries for the blocking heuristic; 0 = a 64-entry L1 TLB
+  /// like the Opteron the paper blocks for.
+  std::size_t tlb_entries = 0;
+
+  // --- code optimizations (§4.1) ---
+  KernelFlavor flavor = KernelFlavor::kSingleIndex;
+  /// Software prefetch distance in value elements ahead of the cursor
+  /// (0 disables; the paper tunes 0..512).
+  unsigned prefetch_distance = 0;
+  /// Measure a few candidate prefetch distances at plan time and keep the
+  /// fastest (the paper's generator tunes the distance from 0 to one page).
+  bool tune_prefetch = false;
+
+  // --- parallelization optimizations (§4.3) ---
+  unsigned threads = 1;
+  /// Pin worker i to logical CPU i (process affinity).
+  bool pin_threads = true;
+  /// Encode each thread's blocks on that thread so first-touch places them
+  /// in the local NUMA domain (memory affinity).
+  bool numa_first_touch = true;
+
+  /// Everything off: the naive serial CSR configuration.
+  static TuningOptions naive() {
+    TuningOptions o;
+    o.register_blocking = false;
+    o.allow_bcoo = false;
+    o.index_compression = false;
+    o.cache_blocking = false;
+    o.tlb_blocking = false;
+    o.flavor = KernelFlavor::kNaive;
+    o.prefetch_distance = 0;
+    o.threads = 1;
+    o.pin_threads = false;
+    o.numa_first_touch = false;
+    return o;
+  }
+
+  /// Everything on, with a given thread count.
+  static TuningOptions full(unsigned threads_) {
+    TuningOptions o;
+    o.threads = threads_;
+    o.flavor = KernelFlavor::kPipelined;
+    o.prefetch_distance = 64;
+    o.tune_prefetch = true;
+    return o;
+  }
+};
+
+}  // namespace spmv

@@ -1,0 +1,59 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv {
+
+std::vector<RowRange> partition_rows_by_nnz(const CsrMatrix& a,
+                                            unsigned parts) {
+  if (parts == 0) throw std::invalid_argument("partition: zero parts");
+  const auto row_ptr = a.row_ptr();
+  const std::uint64_t total = a.nnz();
+  std::vector<RowRange> out(parts);
+  std::uint32_t r = 0;
+  for (unsigned p = 0; p < parts; ++p) {
+    out[p].begin = r;
+    // Ideal cumulative share after part p.
+    const std::uint64_t target = total * (p + 1) / parts;
+    // Advance while the next row keeps us at-or-under target, or while we
+    // are strictly under it (takes the boundary just past the target when
+    // a huge row straddles it, keeping parts contiguous and exhaustive).
+    while (r < a.rows() && row_ptr[r + 1] <= target) ++r;
+    // Take one more row if we are still short and rounding left us under —
+    // but only for non-final parts (the final part must end at rows()).
+    out[p].end = r;
+  }
+  out[parts - 1].end = a.rows();
+  // Rows the loop never assigned (possible when trailing rows are empty and
+  // target was already met) belong to the last part via the line above.
+  return out;
+}
+
+std::vector<RowRange> partition_rows_equal(std::uint32_t rows,
+                                           unsigned parts) {
+  if (parts == 0) throw std::invalid_argument("partition: zero parts");
+  std::vector<RowRange> out(parts);
+  for (unsigned p = 0; p < parts; ++p) {
+    out[p].begin = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(rows) * p / parts);
+    out[p].end = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(rows) * (p + 1) / parts);
+  }
+  return out;
+}
+
+double partition_imbalance(const CsrMatrix& a,
+                           const std::vector<RowRange>& parts) {
+  if (parts.empty()) throw std::invalid_argument("partition_imbalance: empty");
+  const auto row_ptr = a.row_ptr();
+  std::uint64_t worst = 0;
+  for (const auto& p : parts) {
+    worst = std::max(worst, row_ptr[p.end] - row_ptr[p.begin]);
+  }
+  const double ideal =
+      static_cast<double>(a.nnz()) / static_cast<double>(parts.size());
+  return ideal == 0.0 ? 1.0 : static_cast<double>(worst) / ideal;
+}
+
+}  // namespace spmv

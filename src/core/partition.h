@@ -1,0 +1,39 @@
+// Row partitioning for thread-level parallelism (paper §4.3).
+//
+// The paper's implementation "attempts to statically load balance the
+// matrix by balancing the number of nonzeros" across threads — in contrast
+// to PETSc's default equal-rows partition, whose imbalance (40% of nonzeros
+// on one of four processes for FEM/Accelerator) the paper calls out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace spmv {
+
+struct RowRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  [[nodiscard]] std::uint32_t size() const { return end - begin; }
+};
+
+/// Split [0, rows) into `parts` contiguous ranges with near-equal nonzero
+/// counts (each boundary is the prefix point closest to the ideal share).
+/// Always returns exactly `parts` ranges, some possibly empty, covering all
+/// rows in order.
+std::vector<RowRange> partition_rows_by_nnz(const CsrMatrix& a,
+                                            unsigned parts);
+
+/// PETSc-style equal-rows partition (the baseline's default distribution).
+std::vector<RowRange> partition_rows_equal(std::uint32_t rows, unsigned parts);
+
+/// Largest nonzero count of any part divided by the ideal share — 1.0 is
+/// perfect balance.  Used by tests and by the PETSc-baseline imbalance
+/// analysis.
+double partition_imbalance(const CsrMatrix& a,
+                           const std::vector<RowRange>& parts);
+
+}  // namespace spmv

@@ -1,0 +1,221 @@
+#include "core/splitting.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/encode.h"
+#include "core/kernels_block.h"
+#include "matrix/coo.h"
+
+namespace spmv {
+
+namespace {
+
+int dim_ok(unsigned d) { return d == 1 || d == 2 || d == 4; }
+
+/// Histogram of tile occupancies for shape br×bc on the aligned grid:
+/// result[k] = number of tiles holding exactly k nonzeros (k in
+/// [1, br*bc]).  One pass over the nonzeros per stripe.
+std::vector<std::uint64_t> tile_occupancy_histogram(const CsrMatrix& a,
+                                                    unsigned br, unsigned bc) {
+  std::vector<std::uint64_t> hist(br * bc + 1, 0);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  for (std::uint32_t r0 = 0; r0 < a.rows(); r0 += br) {
+    const std::uint32_t r1 = std::min<std::uint32_t>(r0 + br, a.rows());
+    const unsigned height = r1 - r0;
+    std::array<std::uint64_t, 4> cur{}, end{};
+    for (unsigned i = 0; i < height; ++i) {
+      cur[i] = row_ptr[r0 + i];
+      end[i] = row_ptr[r0 + i + 1];
+    }
+    std::uint64_t cur_tile = ~0ull;
+    unsigned occupancy = 0;
+    for (;;) {
+      std::uint32_t next_col = UINT32_MAX;
+      for (unsigned i = 0; i < height; ++i) {
+        if (cur[i] < end[i]) next_col = std::min(next_col, col_idx[cur[i]]);
+      }
+      if (next_col == UINT32_MAX) break;
+      const std::uint64_t tile = next_col / bc;
+      if (tile != cur_tile) {
+        if (occupancy != 0) ++hist[occupancy];
+        cur_tile = tile;
+        occupancy = 0;
+      }
+      for (unsigned i = 0; i < height; ++i) {
+        if (cur[i] < end[i] && col_idx[cur[i]] == next_col) {
+          ++cur[i];
+          ++occupancy;
+        }
+      }
+    }
+    if (occupancy != 0) ++hist[occupancy];
+  }
+  return hist;
+}
+
+IndexWidth pick_width(const CsrMatrix& a, unsigned br, unsigned bc,
+                      BlockFormat fmt) {
+  const BlockExtent whole{0, a.rows(), 0, a.cols()};
+  return index_width_fits16(a, whole, br, bc, fmt) ? IndexWidth::k16
+                                                   : IndexWidth::k32;
+}
+
+}  // namespace
+
+SplitSpmv SplitSpmv::plan(const CsrMatrix& a, unsigned br, unsigned bc,
+                          unsigned min_tile_fill) {
+  if (!dim_ok(br) || !dim_ok(bc)) {
+    throw std::invalid_argument("SplitSpmv: tile dims must be 1/2/4");
+  }
+  if (min_tile_fill == 0 || min_tile_fill > br * bc) {
+    throw std::invalid_argument("SplitSpmv: bad occupancy threshold");
+  }
+  SplitSpmv s;
+  s.rows_ = a.rows();
+  s.cols_ = a.cols();
+  s.decision_.br = br;
+  s.decision_.bc = bc;
+  s.decision_.min_tile_fill = min_tile_fill;
+
+  // Route nonzeros tile by tile.
+  CooBuilder blocked(a.rows(), a.cols());
+  CooBuilder remainder(a.rows(), a.cols());
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+
+  struct Entry {
+    std::uint32_t r, c;
+    double v;
+  };
+  std::vector<Entry> tile_entries;
+  for (std::uint32_t r0 = 0; r0 < a.rows(); r0 += br) {
+    const std::uint32_t r1 = std::min<std::uint32_t>(r0 + br, a.rows());
+    const unsigned height = r1 - r0;
+    std::array<std::uint64_t, 4> cur{}, end{};
+    for (unsigned i = 0; i < height; ++i) {
+      cur[i] = row_ptr[r0 + i];
+      end[i] = row_ptr[r0 + i + 1];
+    }
+    std::uint64_t cur_tile = ~0ull;
+    tile_entries.clear();
+    auto flush = [&] {
+      if (tile_entries.empty()) return;
+      CooBuilder& dst = tile_entries.size() >= min_tile_fill ? blocked
+                                                             : remainder;
+      if (tile_entries.size() >= min_tile_fill) {
+        s.decision_.blocked_nnz += tile_entries.size();
+      } else {
+        s.decision_.remainder_nnz += tile_entries.size();
+      }
+      for (const Entry& e : tile_entries) dst.add(e.r, e.c, e.v);
+      tile_entries.clear();
+    };
+    for (;;) {
+      std::uint32_t next_col = UINT32_MAX;
+      for (unsigned i = 0; i < height; ++i) {
+        if (cur[i] < end[i]) next_col = std::min(next_col, col_idx[cur[i]]);
+      }
+      if (next_col == UINT32_MAX) break;
+      const std::uint64_t tile = next_col / bc;
+      if (tile != cur_tile) {
+        flush();
+        cur_tile = tile;
+      }
+      for (unsigned i = 0; i < height; ++i) {
+        if (cur[i] < end[i] && col_idx[cur[i]] == next_col) {
+          tile_entries.push_back(
+              {r0 + i, next_col, values[cur[i]]});
+          ++cur[i];
+        }
+      }
+    }
+    flush();
+  }
+
+  const BlockExtent whole{0, a.rows(), 0, a.cols()};
+  // Empty parts are neither encoded nor charged (an empty BCSR would
+  // still carry a full row-pointer array).
+  if (s.decision_.blocked_nnz != 0) {
+    s.blocked_ = encode_block(blocked.build(), whole, br, bc,
+                              BlockFormat::kBcsr,
+                              pick_width(a, br, bc, BlockFormat::kBcsr));
+    s.decision_.blocked_bytes = s.blocked_.footprint_bytes();
+  }
+  if (s.decision_.remainder_nnz != 0) {
+    s.remainder_ = encode_block(remainder.build(), whole, 1, 1,
+                                BlockFormat::kBcsr,
+                                pick_width(a, 1, 1, BlockFormat::kBcsr));
+    s.decision_.remainder_bytes = s.remainder_.footprint_bytes();
+  }
+  return s;
+}
+
+SplitSpmv SplitSpmv::plan_auto(const CsrMatrix& a) {
+  // Evaluate all shapes/thresholds analytically from the occupancy
+  // histograms, then materialize only the winner.
+  const std::uint64_t iw =
+      a.cols() <= 0xffff + 1ull ? 2 : 4;  // conservative width estimate
+  struct Best {
+    unsigned br = 1, bc = 1, threshold = 1;
+    std::uint64_t bytes = std::numeric_limits<std::uint64_t>::max();
+  } best;
+
+  for (const unsigned br : {1u, 2u, 4u}) {
+    for (const unsigned bc : {1u, 2u, 4u}) {
+      if (br * bc == 1) {
+        // Pure CSR reference point: threshold 1 routes everything blocked.
+        const std::uint64_t bytes =
+            a.nnz() * (8 + iw) +
+            ((static_cast<std::uint64_t>(a.rows()) + br - 1) / br + 1) * 4;
+        if (bytes < best.bytes) best = {1, 1, 1, bytes};
+        continue;
+      }
+      const auto hist = tile_occupancy_histogram(a, br, bc);
+      // Cumulative sweep over thresholds.
+      for (unsigned thr = 2; thr <= br * bc; ++thr) {
+        std::uint64_t blocked_tiles = 0, blocked_nnz = 0, rem_nnz = 0;
+        for (unsigned k = 1; k <= br * bc; ++k) {
+          if (k >= thr) {
+            blocked_tiles += hist[k];
+            blocked_nnz += hist[k] * k;
+          } else {
+            rem_nnz += hist[k] * k;
+          }
+        }
+        const std::uint64_t tile_rows =
+            (static_cast<std::uint64_t>(a.rows()) + br - 1) / br;
+        const std::uint64_t bytes =
+            blocked_tiles * (8ull * br * bc + iw) + (tile_rows + 1) * 4 +
+            rem_nnz * (8 + iw) +
+            (static_cast<std::uint64_t>(a.rows()) + 1) * 4;
+        if (bytes < best.bytes) best = {br, bc, thr, bytes};
+      }
+    }
+  }
+  if (best.br * best.bc == 1) {
+    return plan(a, 1, 1, 1);
+  }
+  return plan(a, best.br, best.bc, best.threshold);
+}
+
+void SplitSpmv::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  if (x.size() < cols_ || y.size() < rows_) {
+    throw std::invalid_argument("SplitSpmv::multiply: vector too short");
+  }
+  if (x.data() == y.data()) {
+    throw std::invalid_argument("SplitSpmv::multiply: aliasing");
+  }
+  if (decision_.blocked_nnz != 0) run_block(blocked_, x.data(), y.data(), 0);
+  if (decision_.remainder_nnz != 0) {
+    run_block(remainder_, x.data(), y.data(), 0);
+  }
+}
+
+}  // namespace spmv

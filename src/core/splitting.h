@@ -1,0 +1,69 @@
+// Matrix splitting: A = A_blocked + A_remainder (SPARSITY/OSKI's
+// "variable block size and splitting" optimization, paper §2.1/§4).
+//
+// Uniform register blocking pays fill (explicit zeros) wherever the
+// matrix's natural blocks disagree with the chosen tile.  Splitting
+// instead routes each tile by its own occupancy: tiles filled beyond a
+// threshold go to a register-blocked part (zero or low fill), stragglers
+// go to a 1×1 remainder — so no nonzero is charged more padding than it
+// earns back in index savings.  y ← y + A·x runs both parts back to back.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/blocked.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+struct SplitDecision {
+  unsigned br = 1, bc = 1;
+  /// Minimum nonzeros a tile must hold to enter the blocked part.
+  unsigned min_tile_fill = 2;
+  std::uint64_t blocked_nnz = 0;
+  std::uint64_t remainder_nnz = 0;
+  std::uint64_t blocked_bytes = 0;
+  std::uint64_t remainder_bytes = 0;
+
+  [[nodiscard]] double blocked_fraction() const {
+    const std::uint64_t total = blocked_nnz + remainder_nnz;
+    return total == 0 ? 0.0
+                      : static_cast<double>(blocked_nnz) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return blocked_bytes + remainder_bytes;
+  }
+};
+
+class SplitSpmv {
+ public:
+  /// Split `a` at register-tile shape br × bc (power-of-two dims ≤ 4):
+  /// tiles with at least `min_tile_fill` nonzeros are stored as br×bc
+  /// BCSR, the rest as 1×1 BCSR.  Both parts use compressed indices when
+  /// they fit.
+  static SplitSpmv plan(const CsrMatrix& a, unsigned br, unsigned bc,
+                        unsigned min_tile_fill = 2);
+
+  /// Pick (br, bc, threshold) minimizing total footprint over the
+  /// candidate shapes, the splitting analogue of choose_encoding.
+  static SplitSpmv plan_auto(const CsrMatrix& a);
+
+  /// y ← y + A·x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] const SplitDecision& decision() const { return decision_; }
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+
+ private:
+  SplitSpmv() = default;
+
+  std::uint32_t rows_ = 0, cols_ = 0;
+  SplitDecision decision_;
+  EncodedBlock blocked_;    ///< br×bc part (may be empty)
+  EncodedBlock remainder_;  ///< 1×1 part (may be empty)
+};
+
+}  // namespace spmv

@@ -1,0 +1,68 @@
+#include "core/thread_pool.h"
+
+#include <stdexcept>
+
+#include "util/cpu.h"
+
+namespace spmv {
+
+ThreadPool::ThreadPool(unsigned threads, bool pin) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  workers_.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+    if (pin) {
+      pin_thread(workers_.back(), tid % host_info().logical_cpus);
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = &task;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    std::exception_ptr error;
+    try {
+      (*task)(tid);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace spmv

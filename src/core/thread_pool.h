@@ -1,0 +1,53 @@
+// Persistent worker pool for parallel SpMV (paper §4.3: Pthreads threading
+// with process affinity).
+//
+// SpMV bodies are microseconds long, so thread creation per call would
+// dominate; the pool keeps workers alive across calls and dispatches with a
+// generation-counter barrier.  Worker i can be pinned to logical CPU i
+// (process affinity); NUMA-aware planning runs the per-thread encoding *on*
+// the owning worker so first-touch places pages locally (memory affinity).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmv {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers.  When `pin` is set, worker i is pinned to
+  /// logical CPU i modulo the host CPU count.
+  explicit ThreadPool(unsigned threads, bool pin = false);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Run `task(tid)` on every worker (tid in [0, size())) and wait for all
+  /// of them to finish.  Exceptions thrown by tasks propagate (first one
+  /// wins) after the barrier completes.
+  void run(const std::function<void(unsigned)>& task);
+
+ private:
+  void worker_loop(unsigned tid);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace spmv

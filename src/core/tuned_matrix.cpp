@@ -1,0 +1,178 @@
+#include "core/tuned_matrix.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cache_block.h"
+#include "core/kernels_block.h"
+#include "core/thread_pool.h"
+#include "util/cpu.h"
+#include "util/timer.h"
+
+namespace spmv {
+
+std::string TuningReport::summary() const {
+  std::ostringstream os;
+  os << rows << "x" << cols << ", nnz=" << nnz << ", threads=" << threads
+     << ", cache blocks=" << cache_blocks << ", footprint "
+     << tuned_bytes / 1024.0 / 1024.0 << " MiB ("
+     << compression_ratio() * 100.0 << "% of CSR), fill=" << fill_ratio
+     << ", bcoo=" << blocks_bcoo << ", idx16=" << blocks_idx16
+     << ", register-blocked=" << blocks_register_blocked
+     << ", prefetch=" << prefetch_distance;
+  return os.str();
+}
+
+TunedMatrix::TunedMatrix(TunedMatrix&&) noexcept = default;
+TunedMatrix& TunedMatrix::operator=(TunedMatrix&&) noexcept = default;
+TunedMatrix::~TunedMatrix() = default;
+
+TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
+  if (opt.threads == 0) throw std::invalid_argument("plan: zero threads");
+  Timer timer;
+
+  TunedMatrix m;
+  m.opt_ = opt;
+  m.report_.rows = a.rows();
+  m.report_.cols = a.cols();
+  m.report_.nnz = a.nnz();
+  m.report_.threads = opt.threads;
+  m.report_.csr_bytes = csr_footprint(a.nnz(), a.rows());
+
+  // 1. Thread-level row partition, balanced by nonzeros.
+  m.thread_rows_ = partition_rows_by_nnz(a, opt.threads);
+
+  // 2. Cache/TLB blocking parameters.
+  CacheBlockParams cb;
+  cb.cache_blocking = opt.cache_blocking;
+  cb.tlb_blocking = opt.tlb_blocking;
+  cb.cache_bytes = opt.cache_bytes_for_blocking != 0
+                       ? opt.cache_bytes_for_blocking
+                       : host_info().l2_bytes;
+  cb.line_bytes = host_info().cache_line_bytes;
+  cb.page_bytes = host_info().page_bytes;
+  cb.tlb_entries = opt.tlb_entries != 0 ? opt.tlb_entries : 64;
+
+  // Plan extents and decisions per thread (serial: cheap metadata work).
+  struct PlannedBlock {
+    BlockExtent extent;
+    BlockDecision decision;
+  };
+  std::vector<std::vector<PlannedBlock>> planned(opt.threads);
+  for (unsigned t = 0; t < opt.threads; ++t) {
+    const RowRange range = m.thread_rows_[t];
+    for (const BlockExtent& extent :
+         plan_cache_blocks(a, range.begin, range.end, cb)) {
+      PlannedBlock pb;
+      pb.extent = extent;
+      pb.decision = choose_encoding(a, extent, opt);
+      planned[t].push_back(pb);
+    }
+  }
+
+  // 3. Encode.  With NUMA first touch the encode of thread t's blocks runs
+  // on pool worker t (pinned), so the pages land in its local domain.
+  m.blocks_.resize(opt.threads);
+  auto encode_thread = [&](unsigned t) {
+    auto& dst = m.blocks_[t];
+    dst.reserve(planned[t].size());
+    for (const PlannedBlock& pb : planned[t]) {
+      dst.push_back(encode_block(a, pb.extent, pb.decision.br,
+                                 pb.decision.bc, pb.decision.fmt,
+                                 pb.decision.idx));
+    }
+  };
+  if (opt.threads > 1) {
+    m.pool_ = std::make_unique<ThreadPool>(opt.threads, opt.pin_threads);
+  }
+  if (m.pool_ && opt.numa_first_touch) {
+    m.pool_->run(encode_thread);
+  } else {
+    for (unsigned t = 0; t < opt.threads; ++t) encode_thread(t);
+  }
+
+  // 4. Report.
+  std::uint64_t stored = 0, true_nnz = 0;
+  for (unsigned t = 0; t < opt.threads; ++t) {
+    for (std::size_t b = 0; b < m.blocks_[t].size(); ++b) {
+      const EncodedBlock& blk = m.blocks_[t][b];
+      const PlannedBlock& pb = planned[t][b];
+      m.report_.tuned_bytes += blk.footprint_bytes();
+      stored += blk.stored_nnz;
+      true_nnz += blk.true_nnz;
+      ++m.report_.cache_blocks;
+      if (blk.fmt == BlockFormat::kBcoo) ++m.report_.blocks_bcoo;
+      if (blk.idx == IndexWidth::k16) ++m.report_.blocks_idx16;
+      if (blk.br * blk.bc > 1) ++m.report_.blocks_register_blocked;
+      m.report_.blocks.push_back({t, pb.extent, pb.decision});
+    }
+  }
+  if (true_nnz != a.nnz()) {
+    throw std::logic_error("plan: encoded nnz mismatch (internal error)");
+  }
+  m.report_.fill_ratio =
+      true_nnz == 0 ? 1.0
+                    : static_cast<double>(stored) / static_cast<double>(true_nnz);
+
+  // 5. Prefetch-distance tuning (paper §4.1: distance searched from 0 to a
+  // page).  Try a small ladder of distances with real multiplies and keep
+  // the fastest; 0 wins automatically whenever the matrix is cache
+  // resident and prefetch would only burn issue slots.
+  if (opt.tune_prefetch && a.nnz() > 0) {
+    AlignedBuffer<double> x(a.cols());
+    AlignedBuffer<double> y(a.rows());
+    x.fill(1.0);
+    y.zero();
+    double best_s = std::numeric_limits<double>::infinity();
+    unsigned best_distance = 0;
+    for (const unsigned distance : {0u, 16u, 64u, 256u}) {
+      m.opt_.prefetch_distance = distance;
+      // Warm-up then best-of-three, like the measurement harness.
+      m.multiply(x.span(), y.span());
+      double best_rep = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        m.multiply(x.span(), y.span());
+        best_rep = std::min(best_rep, t.seconds());
+      }
+      if (best_rep < best_s) {
+        best_s = best_rep;
+        best_distance = distance;
+      }
+    }
+    m.opt_.prefetch_distance = best_distance;
+  }
+  m.report_.prefetch_distance = m.opt_.prefetch_distance;
+  m.report_.plan_seconds = timer.seconds();
+  return m;
+}
+
+void TunedMatrix::multiply(std::span<const double> x,
+                           std::span<double> y) const {
+  if (x.size() < report_.cols || y.size() < report_.rows) {
+    throw std::invalid_argument("multiply: vector too short");
+  }
+  if (x.data() == y.data()) {
+    throw std::invalid_argument("multiply: x and y must not alias");
+  }
+  const double* xp = x.data();
+  double* yp = y.data();
+  const unsigned pf = opt_.prefetch_distance;
+  if (!pool_) {
+    for (const auto& thread_blocks : blocks_) {
+      for (const EncodedBlock& blk : thread_blocks) {
+        run_block(blk, xp, yp, pf);
+      }
+    }
+    return;
+  }
+  pool_->run([this, xp, yp, pf](unsigned t) {
+    for (const EncodedBlock& blk : blocks_[t]) {
+      run_block(blk, xp, yp, pf);
+    }
+  });
+}
+
+}  // namespace spmv

@@ -1,0 +1,100 @@
+// The tuned multicore SpMV — the library's primary public API.
+//
+// TunedMatrix::plan() runs the paper's full optimization pipeline:
+//   1. rows are partitioned across threads balanced by nonzeros (§4.3);
+//   2. each thread block is split by the sparse cache-blocking and TLB
+//      heuristics (§4.2);
+//   3. each cache block picks its own minimum-footprint encoding —
+//      {BCSR | BCOO} × {1,2,4}² register tiles × {16 | 32}-bit indices —
+//      via the one-pass tuner (§4.2);
+//   4. blocks are encoded on their owning worker thread so first-touch
+//      places them NUMA-locally (§4.3).
+// multiply() then runs y ← y + A·x with a persistent pinned thread pool and
+// the specialized kernel for each block (§4.1).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/blocked.h"
+#include "core/options.h"
+#include "core/partition.h"
+#include "core/tuner.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+
+class ThreadPool;
+
+/// Everything the planner decided, for reporting and tests (this is the
+/// data behind the Table 2-style optimization dump).
+struct TuningReport {
+  std::uint32_t rows = 0, cols = 0;
+  std::uint64_t nnz = 0;
+  unsigned threads = 1;
+  std::size_t cache_blocks = 0;
+  /// Footprint of the encoded matrix vs plain 32-bit CSR.
+  std::uint64_t tuned_bytes = 0;
+  std::uint64_t csr_bytes = 0;
+  /// Stored (padded) nonzeros over true nonzeros, >= 1.
+  double fill_ratio = 1.0;
+  /// How many cache blocks picked each feature.
+  std::size_t blocks_bcoo = 0;
+  std::size_t blocks_idx16 = 0;
+  std::size_t blocks_register_blocked = 0;  ///< tile area > 1
+  /// Per-block decisions in (thread, block) order.
+  struct BlockInfo {
+    unsigned thread = 0;
+    BlockExtent extent;
+    BlockDecision decision;
+  };
+  std::vector<BlockInfo> blocks;
+  /// Prefetch distance in effect after planning (tuned when
+  /// options.tune_prefetch is set).
+  unsigned prefetch_distance = 0;
+  double plan_seconds = 0.0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return csr_bytes == 0 ? 1.0
+                          : static_cast<double>(tuned_bytes) /
+                                static_cast<double>(csr_bytes);
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+class TunedMatrix {
+ public:
+  /// Plan and encode `a` under `opt`.  The input CSR can be discarded
+  /// afterwards; the TunedMatrix owns all encoded storage.
+  static TunedMatrix plan(const CsrMatrix& a, const TuningOptions& opt);
+
+  TunedMatrix(TunedMatrix&&) noexcept;
+  TunedMatrix& operator=(TunedMatrix&&) noexcept;
+  TunedMatrix(const TunedMatrix&) = delete;
+  TunedMatrix& operator=(const TunedMatrix&) = delete;
+  ~TunedMatrix();
+
+  /// y ← y + A·x.  Throws if spans are too short or alias each other.
+  /// Thread-safe against concurrent multiply() calls only if threads == 1.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] std::uint32_t rows() const { return report_.rows; }
+  [[nodiscard]] std::uint32_t cols() const { return report_.cols; }
+  [[nodiscard]] std::uint64_t nnz() const { return report_.nnz; }
+  [[nodiscard]] const TuningReport& report() const { return report_; }
+  [[nodiscard]] const TuningOptions& options() const { return opt_; }
+
+ private:
+  TunedMatrix() = default;
+
+  TuningOptions opt_;
+  TuningReport report_;
+  /// blocks_[t] are the encoded cache blocks owned by worker t.
+  std::vector<std::vector<EncodedBlock>> blocks_;
+  std::vector<RowRange> thread_rows_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace spmv

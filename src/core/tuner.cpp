@@ -1,0 +1,62 @@
+#include "core/tuner.h"
+
+#include <limits>
+
+namespace spmv {
+
+BlockDecision choose_encoding(const CsrMatrix& a, const BlockExtent& e,
+                              const TuningOptions& opt) {
+  const TileCounts tc = count_tiles(a, e);
+  const std::uint32_t row_span = e.row1 - e.row0;
+
+  BlockDecision best;
+  best.footprint_bytes = std::numeric_limits<std::uint64_t>::max();
+  best.nnz = tc.nnz;
+
+  for (const unsigned br : TileCounts::kDims) {
+    if (!opt.register_blocking && br != 1) continue;
+    if (br > opt.max_block_rows) continue;
+    for (const unsigned bc : TileCounts::kDims) {
+      if (!opt.register_blocking && bc != 1) continue;
+      if (bc > opt.max_block_cols) continue;
+      const std::uint64_t tiles = tc.at(br, bc);
+      for (const BlockFormat fmt : {BlockFormat::kBcsr, BlockFormat::kBcoo}) {
+        if (fmt == BlockFormat::kBcoo && !opt.allow_bcoo) continue;
+        for (const IndexWidth idx : {IndexWidth::k32, IndexWidth::k16}) {
+          if (idx == IndexWidth::k16 &&
+              (!opt.index_compression ||
+               !index_width_fits16(a, e, br, bc, fmt))) {
+            continue;
+          }
+          const std::uint64_t bytes =
+              encoding_footprint(tiles, br, bc, row_span, fmt, idx);
+          // Strictly smaller wins; on ties prefer bigger tiles (fewer loop
+          // iterations), then BCSR (no per-tile row index load).
+          const bool better =
+              bytes < best.footprint_bytes ||
+              (bytes == best.footprint_bytes &&
+               (br * bc > best.br * best.bc ||
+                (br * bc == best.br * best.bc &&
+                 fmt == BlockFormat::kBcsr &&
+                 best.fmt == BlockFormat::kBcoo)));
+          if (better) {
+            best.br = br;
+            best.bc = bc;
+            best.fmt = fmt;
+            best.idx = idx;
+            best.tiles = tiles;
+            best.footprint_bytes = bytes;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::uint64_t csr_footprint(std::uint64_t nnz, std::uint32_t rows) {
+  return nnz * (sizeof(double) + sizeof(std::uint32_t)) +
+         (static_cast<std::uint64_t>(rows) + 1) * sizeof(std::uint32_t);
+}
+
+}  // namespace spmv

@@ -1,0 +1,42 @@
+// The one-pass footprint-minimizing format selector (paper §4.2).
+//
+// "Rather than tuning via search, our implementation performs one pass over
+//  the nonzeros to determine the combination of register blocking, index
+//  size, first/last row, and format that minimizes the matrix footprint."
+//
+// Given a cache-block extent, choose_encoding counts register tiles for all
+// candidate shapes, evaluates the storage footprint of every legal
+// {shape × format × index width} combination, and returns the smallest.
+// Different cache blocks of the same matrix may legitimately pick different
+// encodings (the paper: "some cache blocks stored in 1x4 BCOO with 32-bit
+// indices, and others in 4x1 BCSR with 16-bit indices").
+#pragma once
+
+#include <cstdint>
+
+#include "core/encode.h"
+#include "core/options.h"
+
+namespace spmv {
+
+struct BlockDecision {
+  unsigned br = 1, bc = 1;
+  BlockFormat fmt = BlockFormat::kBcsr;
+  IndexWidth idx = IndexWidth::k32;
+  std::uint64_t tiles = 0;
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t nnz = 0;
+};
+
+/// Pick the minimum-footprint encoding for one extent under the options'
+/// constraints (register blocking / BCOO / index compression toggles).
+BlockDecision choose_encoding(const CsrMatrix& a, const BlockExtent& extent,
+                              const TuningOptions& opt);
+
+/// Baseline footprint of the same nonzeros in plain 32-bit-index CSR
+/// (8-byte value + 4-byte column per nonzero + 4 bytes per row pointer
+/// entry over the extent) — the denominator of compression ratios in the
+/// tuning report.
+std::uint64_t csr_footprint(std::uint64_t nnz, std::uint32_t rows);
+
+}  // namespace spmv

@@ -1,0 +1,427 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "matrix/coo.h"
+#include "util/prng.h"
+
+namespace spmv::gen {
+
+namespace {
+
+double nonzero_value(Prng& rng) {
+  // Uniform in [-1, 1] excluding exact zero so that drop_zeros never fires.
+  for (;;) {
+    const double v = rng.next_double(-1.0, 1.0);
+    if (v != 0.0) return v;
+  }
+}
+
+/// Sample `want` distinct values from [lo, hi] (inclusive), excluding
+/// `self`.  Interval must be big enough; callers guarantee that.
+void sample_distinct(Prng& rng, std::uint32_t lo, std::uint32_t hi,
+                     std::uint32_t self, std::size_t want,
+                     std::vector<std::uint32_t>& out) {
+  out.clear();
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(want * 2);
+  seen.insert(self);
+  while (out.size() < want && seen.size() < span) {
+    const auto v = static_cast<std::uint32_t>(lo + rng.next_below(span));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+}
+
+}  // namespace
+
+CsrMatrix dense(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("dense: n == 0");
+  Prng rng(0xdede + n);
+  std::vector<std::uint64_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<std::uint32_t> col_idx(static_cast<std::size_t>(n) * n);
+  std::vector<double> values(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t r = 0; r <= n; ++r) {
+    row_ptr[r] = static_cast<std::uint64_t>(r) * n;
+  }
+  for (std::size_t k = 0; k < col_idx.size(); ++k) {
+    col_idx[k] = static_cast<std::uint32_t>(k % n);
+    values[k] = nonzero_value(rng);
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix fem_like(std::uint32_t nodes, unsigned dof, double mean_couplings,
+                   std::uint32_t band_halfwidth, std::uint64_t seed) {
+  if (nodes == 0 || dof == 0 || mean_couplings < 1.0) {
+    throw std::invalid_argument("fem_like: bad parameters");
+  }
+  Prng rng(seed);
+  const std::uint32_t rows = nodes * dof;
+  CooBuilder builder(rows, rows);
+  // Each node-node coupling (i, j) with j > i contributes two dof×dof dense
+  // blocks (symmetry); the self coupling contributes one.  Couplings per
+  // node (including self) should average mean_couplings, so we sample
+  // (mean_couplings - 1) / 2 upper neighbors per node.
+  const double upper_per_node = (mean_couplings - 1.0) / 2.0;
+  std::vector<std::uint32_t> neighbors;
+  auto add_block = [&](std::uint32_t ni, std::uint32_t nj) {
+    if (ni == nj) {
+      // Self-coupling block: symmetric within itself, like a real element
+      // stiffness contribution.
+      for (unsigned a = 0; a < dof; ++a) {
+        for (unsigned b = a; b < dof; ++b) {
+          const double v = nonzero_value(rng);
+          builder.add(ni * dof + a, ni * dof + b, v);
+          if (a != b) builder.add(ni * dof + b, ni * dof + a, v);
+        }
+      }
+      return;
+    }
+    for (unsigned a = 0; a < dof; ++a) {
+      for (unsigned b = 0; b < dof; ++b) {
+        const double v = nonzero_value(rng);
+        builder.add(ni * dof + a, nj * dof + b, v);
+        builder.add(nj * dof + b, ni * dof + a, v);
+      }
+    }
+  };
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(nodes) * mean_couplings * dof * dof * 1.1));
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    add_block(i, i);
+    // Bernoulli rounding so that the expectation is exact even for
+    // fractional upper_per_node.
+    auto want = static_cast<std::size_t>(upper_per_node);
+    if (rng.next_double() < upper_per_node - static_cast<double>(want)) {
+      ++want;
+    }
+    const std::uint32_t hi =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(i) + band_halfwidth,
+                                nodes - 1);
+    if (hi <= i || want == 0) continue;
+    sample_distinct(rng, i + 1, hi, i, want, neighbors);
+    for (const std::uint32_t j : neighbors) add_block(i, j);
+  }
+  return builder.build();
+}
+
+CsrMatrix lattice4d(std::uint32_t lx, std::uint32_t ly, std::uint32_t lz,
+                    std::uint32_t lt, unsigned block, std::uint64_t seed) {
+  if (lx < 3 || ly < 3 || lz < 3 || lt < 3 || block == 0) {
+    throw std::invalid_argument("lattice4d: lattice too small");
+  }
+  Prng rng(seed);
+  const std::uint64_t sites64 =
+      static_cast<std::uint64_t>(lx) * ly * lz * lt;
+  const std::uint64_t rows64 = sites64 * block;
+  if (rows64 > 0xffffffffull) {
+    throw std::invalid_argument("lattice4d: too many rows");
+  }
+  const auto sites = static_cast<std::uint32_t>(sites64);
+  const auto rows = static_cast<std::uint32_t>(rows64);
+  auto site_id = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                     std::uint32_t t) {
+    return ((t * lz + z) * ly + y) * lx + x;
+  };
+  CooBuilder builder(rows, rows);
+  builder.reserve(static_cast<std::size_t>(sites) * 13 * block * block);
+  std::vector<std::uint32_t> coupled;
+  for (std::uint32_t t = 0; t < lt; ++t) {
+    for (std::uint32_t z = 0; z < lz; ++z) {
+      for (std::uint32_t y = 0; y < ly; ++y) {
+        for (std::uint32_t x = 0; x < lx; ++x) {
+          const std::uint32_t s = site_id(x, y, z, t);
+          coupled.clear();
+          coupled.push_back(s);  // self
+          // 8 unit-step periodic neighbors.
+          coupled.push_back(site_id((x + 1) % lx, y, z, t));
+          coupled.push_back(site_id((x + lx - 1) % lx, y, z, t));
+          coupled.push_back(site_id(x, (y + 1) % ly, z, t));
+          coupled.push_back(site_id(x, (y + ly - 1) % ly, z, t));
+          coupled.push_back(site_id(x, y, (z + 1) % lz, t));
+          coupled.push_back(site_id(x, y, (z + lz - 1) % lz, t));
+          coupled.push_back(site_id(x, y, z, (t + 1) % lt));
+          coupled.push_back(site_id(x, y, z, (t + lt - 1) % lt));
+          // 4 positive double-step neighbors (improved-action style),
+          // bringing total couplings per site to 13 -> 39 nnz/row at b=3.
+          coupled.push_back(site_id((x + 2) % lx, y, z, t));
+          coupled.push_back(site_id(x, (y + 2) % ly, z, t));
+          coupled.push_back(site_id(x, y, (z + 2) % lz, t));
+          coupled.push_back(site_id(x, y, z, (t + 2) % lt));
+          for (const std::uint32_t nbr : coupled) {
+            for (unsigned a = 0; a < block; ++a) {
+              for (unsigned b = 0; b < block; ++b) {
+                builder.add(s * block + a, nbr * block + b,
+                            nonzero_value(rng));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix markov2d(std::uint32_t grid_x, std::uint32_t grid_y,
+                   std::uint64_t seed) {
+  if (grid_x < 2 || grid_y < 2) {
+    throw std::invalid_argument("markov2d: grid too small");
+  }
+  Prng rng(seed);
+  const std::uint64_t n64 = static_cast<std::uint64_t>(grid_x) * grid_y;
+  if (n64 > 0xffffffffull) throw std::invalid_argument("markov2d: too large");
+  const auto n = static_cast<std::uint32_t>(n64);
+  auto cell = [&](std::uint32_t x, std::uint32_t y) { return y * grid_x + x; };
+  CooBuilder builder(n, n);
+  builder.reserve(static_cast<std::size_t>(n) * 4);
+  for (std::uint32_t y = 0; y < grid_y; ++y) {
+    for (std::uint32_t x = 0; x < grid_x; ++x) {
+      const std::uint32_t i = cell(x, y);
+      // Transition probabilities to the in-bounds 4-neighborhood; weights
+      // are random and rows are normalized, as in a Markov transition
+      // matrix.
+      std::uint32_t nbrs[4];
+      std::size_t cnt = 0;
+      if (x + 1 < grid_x) nbrs[cnt++] = cell(x + 1, y);
+      if (x > 0) nbrs[cnt++] = cell(x - 1, y);
+      if (y + 1 < grid_y) nbrs[cnt++] = cell(x, y + 1);
+      if (y > 0) nbrs[cnt++] = cell(x, y - 1);
+      double weights[4];
+      double total = 0.0;
+      for (std::size_t k = 0; k < cnt; ++k) {
+        weights[k] = rng.next_double(0.1, 1.0);
+        total += weights[k];
+      }
+      for (std::size_t k = 0; k < cnt; ++k) {
+        builder.add(i, nbrs[k], weights[k] / total);
+      }
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix power_law(std::uint32_t n, double mean_degree, std::uint64_t seed) {
+  if (n < 2 || mean_degree < 1.0) {
+    throw std::invalid_argument("power_law: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(n, n);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * (mean_degree + 1.0)));
+  // Unit diagonal (self-rank/damping term of a link matrix).
+  for (std::uint32_t i = 0; i < n; ++i) builder.add(i, i, 1.0);
+  // Preferential attachment: targets drawn from previously used endpoints
+  // so in-degree develops a heavy tail; out-degree per row is geometric-ish
+  // around mean_degree - 1 (the diagonal provides the remaining 1).
+  std::vector<std::uint32_t> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * mean_degree));
+  endpoint_pool.push_back(0);
+  const double out_mean = mean_degree - 1.0;
+  std::unordered_set<std::uint64_t> used;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    auto want = static_cast<std::size_t>(out_mean);
+    if (rng.next_double() < out_mean - static_cast<double>(want)) ++want;
+    for (std::size_t e = 0; e < want; ++e) {
+      std::uint32_t target;
+      if (rng.next_double() < 0.70) {
+        target = endpoint_pool[rng.next_below(endpoint_pool.size())];
+      } else {
+        target = static_cast<std::uint32_t>(rng.next_below(i));
+      }
+      if (target == i) continue;
+      const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | target;
+      if (!used.insert(key).second) continue;
+      builder.add(i, target, nonzero_value(rng));
+      endpoint_pool.push_back(target);
+      endpoint_pool.push_back(i);
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix circuit_like(std::uint32_t n, double mean_degree, std::uint32_t hubs,
+                       std::uint64_t seed) {
+  if (n < 4 || mean_degree < 1.0) {
+    throw std::invalid_argument("circuit_like: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(n, n);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * (mean_degree + 1.0)));
+  const double band_mean = (mean_degree - 1.0) / 2.0;  // symmetric pairs
+  std::vector<std::uint32_t> neighbors;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    builder.add(i, i, nonzero_value(rng));
+    auto want = static_cast<std::size_t>(band_mean);
+    if (rng.next_double() < band_mean - static_cast<double>(want)) ++want;
+    const std::uint32_t hi =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(i) + 64, n - 1);
+    if (hi <= i || want == 0) continue;
+    sample_distinct(rng, i + 1, hi, i, want, neighbors);
+    for (const std::uint32_t j : neighbors) {
+      const double v = nonzero_value(rng);
+      builder.add(i, j, v);
+      builder.add(j, i, v);
+    }
+  }
+  // Hub rows/columns: supply rails touching a spread of random nodes.
+  const std::size_t hub_degree = hubs == 0 ? 0 : std::max<std::size_t>(
+      16, static_cast<std::size_t>(n) / (20 * std::max(hubs, 1u)));
+  for (std::uint32_t h = 0; h < hubs; ++h) {
+    const auto hub = static_cast<std::uint32_t>(rng.next_below(n));
+    for (std::size_t e = 0; e < hub_degree; ++e) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(n));
+      if (j == hub) continue;
+      builder.add(hub, j, nonzero_value(rng));
+      builder.add(j, hub, nonzero_value(rng));
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix econ_like(std::uint32_t n, double mean_degree, std::uint64_t seed) {
+  if (n < 8 || mean_degree < 2.0) {
+    throw std::invalid_argument("econ_like: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(n, n);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * (mean_degree + 1.0)));
+  // Time-period block structure: entries couple to the previous period
+  // (lower block band) plus random intra-period scatter.
+  const std::uint32_t period = std::max<std::uint32_t>(64, n / 500);
+  const double scatter_mean = mean_degree - 2.0;  // diagonal + lag term
+  std::vector<std::uint32_t> picks;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    builder.add(i, i, nonzero_value(rng));
+    if (i >= period) builder.add(i, i - period, nonzero_value(rng));
+    auto want = static_cast<std::size_t>(scatter_mean);
+    if (rng.next_double() < scatter_mean - static_cast<double>(want)) ++want;
+    if (want == 0) continue;
+    const std::uint32_t block_start = (i / period) * period;
+    const std::uint32_t block_end =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(block_start) + period,
+                                n) - 1;
+    sample_distinct(rng, block_start, block_end, i, want, picks);
+    for (const std::uint32_t j : picks) builder.add(i, j, nonzero_value(rng));
+  }
+  return builder.build();
+}
+
+CsrMatrix random_symmetric(std::uint32_t n, double mean_degree,
+                           std::uint64_t seed) {
+  if (n < 4 || mean_degree < 1.0) {
+    throw std::invalid_argument("random_symmetric: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(n, n);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(n) * (mean_degree + 1.0)));
+  const double upper_mean = (mean_degree - 1.0) / 2.0;
+  std::vector<std::uint32_t> picks;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    builder.add(i, i, nonzero_value(rng));
+    auto want = static_cast<std::size_t>(upper_mean);
+    if (rng.next_double() < upper_mean - static_cast<double>(want)) ++want;
+    if (want == 0 || i + 1 >= n) continue;
+    // Weak diagonal bias: half the picks land within a wide band, half are
+    // uniform across the remaining columns.
+    picks.clear();
+    std::unordered_set<std::uint32_t> seen;
+    seen.insert(i);
+    while (picks.size() < want && seen.size() < n - i) {
+      std::uint32_t j;
+      if (rng.next_double() < 0.5) {
+        const std::uint32_t band =
+            std::max<std::uint32_t>(1024, n / 16);
+        const std::uint32_t hi =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(i) + band,
+                                    n - 1);
+        j = i + 1 + static_cast<std::uint32_t>(rng.next_below(hi - i));
+      } else {
+        j = i + 1 +
+            static_cast<std::uint32_t>(rng.next_below(n - i - 1));
+      }
+      if (seen.insert(j).second) picks.push_back(j);
+    }
+    for (const std::uint32_t j : picks) {
+      const double v = nonzero_value(rng);
+      builder.add(i, j, v);
+      builder.add(j, i, v);
+    }
+  }
+  return builder.build();
+}
+
+CsrMatrix lp_constraint(std::uint32_t rows, std::uint32_t cols,
+                        double ones_per_col, std::uint64_t seed) {
+  if (rows < 2 || cols < 2 || ones_per_col < 1.0) {
+    throw std::invalid_argument("lp_constraint: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(rows, cols);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(cols) * ones_per_col));
+  std::vector<std::uint32_t> picks;
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    auto want = static_cast<std::size_t>(ones_per_col);
+    if (rng.next_double() < ones_per_col - static_cast<double>(want)) ++want;
+    want = std::min<std::size_t>(want, rows);
+    if (want == 0) continue;
+    sample_distinct(rng, 0, rows - 1, UINT32_MAX, want, picks);
+    for (const std::uint32_t r : picks) builder.add(r, c, 1.0);
+  }
+  return builder.build();
+}
+
+CsrMatrix uniform_random(std::uint32_t rows, std::uint32_t cols,
+                         double mean_degree, std::uint64_t seed) {
+  if (rows == 0 || cols == 0 || mean_degree <= 0.0) {
+    throw std::invalid_argument("uniform_random: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(rows, cols);
+  builder.reserve(static_cast<std::size_t>(
+      static_cast<double>(rows) * mean_degree));
+  std::vector<std::uint32_t> picks;
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    auto want = static_cast<std::size_t>(mean_degree);
+    if (rng.next_double() < mean_degree - static_cast<double>(want)) ++want;
+    want = std::min<std::size_t>(want, cols);
+    if (want == 0) continue;
+    sample_distinct(rng, 0, cols - 1, UINT32_MAX, want, picks);
+    for (const std::uint32_t j : picks) builder.add(i, j, nonzero_value(rng));
+  }
+  return builder.build();
+}
+
+CsrMatrix banded(std::uint32_t n, std::uint32_t half_bandwidth, double fill,
+                 std::uint64_t seed) {
+  if (n == 0 || fill <= 0.0 || fill > 1.0) {
+    throw std::invalid_argument("banded: bad parameters");
+  }
+  Prng rng(seed);
+  CooBuilder builder(n, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t lo = i > half_bandwidth ? i - half_bandwidth : 0;
+    const std::uint32_t hi =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(i) + half_bandwidth,
+                                n - 1);
+    for (std::uint32_t j = lo; j <= hi; ++j) {
+      if (j == i || rng.next_double() < fill) {
+        builder.add(i, j, nonzero_value(rng));
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace spmv::gen

@@ -1,0 +1,80 @@
+// Parametric sparse-matrix generators.
+//
+// The paper evaluates 14 matrices from real applications (Table 3).  Those
+// files are not redistributable here, so src/gen synthesizes matrices with
+// the same dimensions, nonzero counts, and — critically for SpMV behaviour —
+// the same *structure class*: dense block substructure (FEM), near-diagonal
+// stencils, power-law graphs, extreme aspect ratios.  Section 5.1 of the
+// paper argues these are exactly the properties that determine performance.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace spmv::gen {
+
+/// Fully dense matrix stored as sparse (the paper's dense2: bandwidth upper
+/// bound experiment).
+CsrMatrix dense(std::uint32_t n);
+
+/// FEM-style matrix: `nodes` mesh nodes with `dof` degrees of freedom each;
+/// every node couples to itself and ~`mean_couplings - 1` neighbor nodes
+/// drawn within `band_halfwidth` positions in a 1-D node ordering (RCM-like
+/// locality).  Every coupling contributes a dense dof×dof block, giving the
+/// natural register-block substructure of assembled stiffness matrices.
+/// Symmetric structure.
+CsrMatrix fem_like(std::uint32_t nodes, unsigned dof, double mean_couplings,
+                   std::uint32_t band_halfwidth, std::uint64_t seed);
+
+/// 4-D periodic lattice operator with dense b×b site blocks (QCD quark
+/// propagator shape): each site couples to itself, its 8 unit neighbors and
+/// the 4 positive "double-step" neighbors, 13 couplings total.
+CsrMatrix lattice4d(std::uint32_t lx, std::uint32_t ly, std::uint32_t lz,
+                    std::uint32_t lt, unsigned block, std::uint64_t seed);
+
+/// 2-D grid Markov-chain transition structure (epidemiology shape): entry
+/// (i, j) for each in-bounds 4-neighborhood transition, no self loops.
+/// nnz/row approaches 4 from below as the grid grows.
+CsrMatrix markov2d(std::uint32_t grid_x, std::uint32_t grid_y,
+                   std::uint64_t seed);
+
+/// Scale-free directed graph via preferential attachment with mean
+/// out-degree `mean_degree` (webbase shape: few nonzeros per row, heavy
+/// tailed in-degree).  Includes a unit diagonal, mirroring link matrices
+/// with self-rank terms.
+CsrMatrix power_law(std::uint32_t n, double mean_degree, std::uint64_t seed);
+
+/// Circuit-simulation shape: dominant diagonal + short-range band coupling
+/// + a few dense hub rows/columns (supply rails).
+CsrMatrix circuit_like(std::uint32_t n, double mean_degree,
+                       std::uint32_t hubs, std::uint64_t seed);
+
+/// Macro-economic model shape: block-bidiagonal time structure with sparse
+/// random intra-period coupling; ~`mean_degree` nonzeros per row, no dense
+/// block substructure.
+CsrMatrix econ_like(std::uint32_t n, double mean_degree, std::uint64_t seed);
+
+/// Accelerator-cavity shape (cop20k_A): symmetric, appears random at cache
+/// block granularity — uniform scatter with a weak diagonal bias.
+CsrMatrix random_symmetric(std::uint32_t n, double mean_degree,
+                           std::uint64_t seed);
+
+/// Linear-programming set-cover constraint matrix (rail4284 shape):
+/// `rows` constraints × `cols` variables, each column selecting
+/// ~`ones_per_col` random rows.  Extreme aspect ratio; the source vector
+/// working set is the whole x, which is what defeats caches in the paper.
+CsrMatrix lp_constraint(std::uint32_t rows, std::uint32_t cols,
+                        double ones_per_col, std::uint64_t seed);
+
+/// Uniform random matrix with expected `mean_degree` nonzeros per row
+/// (general-purpose test workload).
+CsrMatrix uniform_random(std::uint32_t rows, std::uint32_t cols,
+                         double mean_degree, std::uint64_t seed);
+
+/// Banded matrix with given half-bandwidth and in-band fill probability
+/// (general-purpose test workload).
+CsrMatrix banded(std::uint32_t n, std::uint32_t half_bandwidth, double fill,
+                 std::uint64_t seed);
+
+}  // namespace spmv::gen

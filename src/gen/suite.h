@@ -1,0 +1,40 @@
+// The 14-matrix evaluation suite of Table 3, regenerated synthetically.
+//
+// Each entry records the paper's published shape statistics and a generator
+// that reproduces them (±ε).  A global `scale` in (0, 1] shrinks matrix
+// dimensions proportionally while preserving nnz/row and structure class,
+// so tests and quick benchmark runs can use reduced sizes honestly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace spmv::gen {
+
+struct SuiteEntry {
+  std::string name;        ///< paper display name, e.g. "FEM/Ship"
+  std::string filename;    ///< paper file name, e.g. "shipsec1.rsa"
+  std::string notes;       ///< Table 3 description
+  std::uint32_t paper_rows = 0;
+  std::uint32_t paper_cols = 0;
+  std::uint64_t paper_nnz = 0;
+  double paper_nnz_per_row = 0.0;
+};
+
+/// Table 3 metadata for all 14 matrices, in paper order.
+const std::vector<SuiteEntry>& suite_entries();
+
+/// Index lookup by paper display name; throws std::out_of_range if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Generate the matrix for a suite entry at the given dimensional scale.
+/// scale = 1 reproduces the Table 3 dimensions; smaller scales shrink rows
+/// (and for LP, columns) proportionally with structure preserved.
+CsrMatrix generate_suite_matrix(const SuiteEntry& entry, double scale = 1.0);
+
+CsrMatrix generate_suite_matrix(const std::string& name, double scale = 1.0);
+
+}  // namespace spmv::gen

@@ -1,0 +1,64 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "matrix/csr.h"
+
+namespace spmv {
+
+CooBuilder::CooBuilder(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("CooBuilder: zero dimension");
+  }
+}
+
+void CooBuilder::add(std::uint32_t row, std::uint32_t col, double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("CooBuilder::add: coordinate out of range");
+  }
+  triplets_.push_back({row, col, value});
+}
+
+void CooBuilder::add_symmetric(std::uint32_t row, std::uint32_t col,
+                               double value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+CsrMatrix CooBuilder::build(bool drop_zeros) const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<std::uint64_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    // Merge run of duplicates at the same coordinate.
+    const std::uint32_t r = sorted[i].row;
+    const std::uint32_t c = sorted[i].col;
+    double sum = 0.0;
+    while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+      sum += sorted[i].value;
+      ++i;
+    }
+    if (drop_zeros && sum == 0.0) continue;
+    col_idx.push_back(c);
+    values.push_back(sum);
+    ++row_ptr[r + 1];
+  }
+  for (std::uint32_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace spmv

@@ -1,0 +1,50 @@
+// Coordinate-format builder: the mutable staging area every matrix passes
+// through (generators, Matrix Market reader, tests) before being frozen into
+// the canonical CSR form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spmv {
+
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix;  // defined in matrix/csr.h
+
+/// Accumulates (row, col, value) triplets.  Duplicate coordinates are summed
+/// when the matrix is frozen, matching Matrix Market semantics.
+class CooBuilder {
+ public:
+  CooBuilder(std::uint32_t rows, std::uint32_t cols);
+
+  /// Add one entry.  Out-of-range coordinates throw std::out_of_range.
+  void add(std::uint32_t row, std::uint32_t col, double value);
+
+  /// Add entry (r,c) and, if off-diagonal, also (c,r) — for symmetric input.
+  void add_symmetric(std::uint32_t row, std::uint32_t col, double value);
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t entries() const { return triplets_.size(); }
+  [[nodiscard]] const std::vector<Triplet>& triplets() const {
+    return triplets_;
+  }
+
+  void reserve(std::size_t n) { triplets_.reserve(n); }
+
+  /// Sort, merge duplicates (summing values), drop explicit zeros if
+  /// requested, and produce the canonical CSR matrix.
+  [[nodiscard]] CsrMatrix build(bool drop_zeros = false) const;
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace spmv

@@ -1,0 +1,135 @@
+#include "matrix/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv {
+
+CsrMatrix::CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+                     std::vector<std::uint64_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+    throw std::invalid_argument("CsrMatrix: row_ptr size != rows + 1");
+  }
+  if (row_ptr_.front() != 0) {
+    throw std::invalid_argument("CsrMatrix: row_ptr[0] != 0");
+  }
+  if (col_idx_.size() != values_.size() ||
+      col_idx_.size() != row_ptr_.back()) {
+    throw std::invalid_argument("CsrMatrix: array length mismatch");
+  }
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+    }
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] >= cols_) {
+        throw std::invalid_argument("CsrMatrix: column index out of range");
+      }
+      if (k > row_ptr_[r] && col_idx_[k - 1] >= col_idx_[k]) {
+        throw std::invalid_argument("CsrMatrix: columns not strictly sorted");
+      }
+    }
+  }
+}
+
+double CsrMatrix::at(std::uint32_t r, std::uint32_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("CsrMatrix::at");
+  }
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+std::uint32_t CsrMatrix::empty_rows() const {
+  std::uint32_t n = 0;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] == row_ptr_[r + 1]) ++n;
+  }
+  return n;
+}
+
+CsrMatrix CsrMatrix::slice(std::uint32_t r0, std::uint32_t r1,
+                           std::uint32_t c0, std::uint32_t c1) const {
+  if (r0 > r1 || r1 > rows_ || c0 > c1 || c1 > cols_) {
+    throw std::out_of_range("CsrMatrix::slice");
+  }
+  std::vector<std::uint64_t> row_ptr(r1 - r0 + 1, 0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  for (std::uint32_t r = r0; r < r1; ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t c = col_idx_[k];
+      if (c < c0 || c >= c1) continue;
+      col_idx.push_back(c - c0);
+      values.push_back(values_[k]);
+      ++row_ptr[r - r0 + 1];
+    }
+  }
+  for (std::size_t r = 1; r < row_ptr.size(); ++r) row_ptr[r] += row_ptr[r - 1];
+  return CsrMatrix(r1 - r0, c1 - c0, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<std::uint64_t> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (std::uint32_t c : col_idx_) ++row_ptr[c + 1];
+  for (std::uint32_t c = 0; c < cols_; ++c) row_ptr[c + 1] += row_ptr[c];
+
+  std::vector<std::uint32_t> col_idx(col_idx_.size());
+  std::vector<double> values(values_.size());
+  std::vector<std::uint64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint64_t dst = cursor[col_idx_[k]]++;
+      col_idx[dst] = r;
+      values[dst] = values_[k];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> dense(static_cast<std::size_t>(rows_) * cols_, 0.0);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense[static_cast<std::size_t>(r) * cols_ + col_idx_[k]] = values_[k];
+    }
+  }
+  return dense;
+}
+
+bool CsrMatrix::equals(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+void spmv_reference(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> y) {
+  if (x.size() < a.cols() || y.size() < a.rows()) {
+    throw std::invalid_argument("spmv_reference: vector too short");
+  }
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    double acc = y[r];
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += values[k] * x[col_idx[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+}  // namespace spmv

@@ -1,0 +1,92 @@
+// Canonical compressed-sparse-row matrix.
+//
+// This is the library's interchange format: generators and I/O produce it,
+// the tuner consumes it, reference kernels run directly on it.  Column
+// indices within each row are strictly increasing; values are doubles
+// (the paper's evaluation is double precision throughout).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace spmv {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of fully formed CSR arrays.  Validates invariants
+  /// (row_ptr monotone, indices sorted in-row and in range) and throws
+  /// std::invalid_argument on violation.
+  CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+            std::vector<std::uint64_t> row_ptr,
+            std::vector<std::uint32_t> col_idx, std::vector<double> values);
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint64_t nnz() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  [[nodiscard]] std::uint64_t row_begin(std::uint32_t r) const {
+    return row_ptr_[r];
+  }
+  [[nodiscard]] std::uint64_t row_end(std::uint32_t r) const {
+    return row_ptr_[r + 1];
+  }
+  [[nodiscard]] std::uint64_t row_nnz(std::uint32_t r) const {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Value at (r, c), or 0 if absent.  Binary search within the row.
+  [[nodiscard]] double at(std::uint32_t r, std::uint32_t c) const;
+
+  /// Number of rows with no nonzeros (drives the BCOO-vs-BCSR choice).
+  [[nodiscard]] std::uint32_t empty_rows() const;
+
+  /// Mean nonzeros per row.
+  [[nodiscard]] double nnz_per_row() const {
+    return rows_ == 0 ? 0.0
+                      : static_cast<double>(nnz()) / static_cast<double>(rows_);
+  }
+
+  /// Extract the sub-matrix of rows [r0, r1) and columns [c0, c1) as CSR
+  /// with the same global dimensions re-based to the block (row 0 of the
+  /// result is global row r0).  Used by tests to validate blocking.
+  [[nodiscard]] CsrMatrix slice(std::uint32_t r0, std::uint32_t r1,
+                                std::uint32_t c0, std::uint32_t c1) const;
+
+  /// Transpose (used by the LP-style aspect-ratio experiments and tests).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Dense row-major expansion; only sensible for small test matrices.
+  [[nodiscard]] std::vector<double> to_dense() const;
+
+  /// Exact equality of structure and values.
+  [[nodiscard]] bool equals(const CsrMatrix& other) const;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<std::uint64_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Reference kernel: y ← y + A·x on the canonical format, no tricks.
+/// This is the correctness oracle every optimized kernel is tested against.
+void spmv_reference(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> y);
+
+}  // namespace spmv

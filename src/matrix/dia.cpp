@@ -1,0 +1,165 @@
+#include "matrix/dia.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "matrix/coo.h"
+
+namespace spmv {
+
+DiaMatrix DiaMatrix::from_csr(const CsrMatrix& a) {
+  DiaMatrix d;
+  d.rows_ = a.rows();
+  d.cols_ = a.cols();
+  d.true_nnz_ = a.nnz();
+
+  // Collect populated diagonals.
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  std::map<std::int64_t, std::uint64_t> diag_counts;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      ++diag_counts[static_cast<std::int64_t>(ci[k]) -
+                    static_cast<std::int64_t>(r)];
+    }
+  }
+  d.offsets_.reserve(diag_counts.size());
+  for (const auto& [offset, count] : diag_counts) {
+    d.offsets_.push_back(offset);
+  }
+  d.values_.assign(d.offsets_.size() * static_cast<std::size_t>(d.rows_),
+                   0.0);
+  // Offsets are sorted (std::map); index of each for the fill pass.
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::int64_t offset = static_cast<std::int64_t>(ci[k]) -
+                                  static_cast<std::int64_t>(r);
+      const auto it =
+          std::lower_bound(d.offsets_.begin(), d.offsets_.end(), offset);
+      const auto strip = static_cast<std::size_t>(it - d.offsets_.begin());
+      d.values_[strip * d.rows_ + r] = v[k];
+    }
+  }
+  return d;
+}
+
+double DiaMatrix::occupancy() const {
+  const auto slots = static_cast<double>(values_.size());
+  return slots == 0.0 ? 1.0 : static_cast<double>(true_nnz_) / slots;
+}
+
+std::uint64_t DiaMatrix::footprint_bytes() const {
+  return values_.size() * sizeof(double) +
+         offsets_.size() * sizeof(std::int32_t);
+}
+
+void DiaMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  if (x.size() < cols_ || y.size() < rows_) {
+    throw std::invalid_argument("DiaMatrix::multiply: vector too short");
+  }
+  const double* xp = x.data();
+  double* yp = y.data();
+  for (std::size_t s = 0; s < offsets_.size(); ++s) {
+    const std::int64_t offset = offsets_[s];
+    const double* strip = values_.data() + s * rows_;
+    // Row range where (r, r + offset) is inside the matrix.
+    const auto r0 = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        0, -offset));
+    const auto r1 = static_cast<std::uint32_t>(std::min<std::int64_t>(
+        rows_, static_cast<std::int64_t>(cols_) - offset));
+    const double* xs = xp + offset;
+    for (std::uint32_t r = r0; r < r1; ++r) {
+      yp[r] += strip[r] * xs[r];
+    }
+  }
+}
+
+CsrMatrix DiaMatrix::to_csr() const {
+  CooBuilder b(rows_, cols_);
+  for (std::size_t s = 0; s < offsets_.size(); ++s) {
+    const std::int64_t offset = offsets_[s];
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + offset;
+      if (c < 0 || c >= static_cast<std::int64_t>(cols_)) continue;
+      const double v = values_[s * rows_ + r];
+      if (v != 0.0) b.add(r, static_cast<std::uint32_t>(c), v);
+    }
+  }
+  return b.build();
+}
+
+HybridDiaMatrix HybridDiaMatrix::from_csr(const CsrMatrix& a,
+                                          double occupancy_threshold) {
+  if (occupancy_threshold < 0.0 || occupancy_threshold > 1.0) {
+    throw std::invalid_argument("HybridDiaMatrix: bad threshold");
+  }
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+
+  // Count occupancy per diagonal.
+  std::map<std::int64_t, std::uint64_t> diag_counts;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      ++diag_counts[static_cast<std::int64_t>(ci[k]) -
+                    static_cast<std::int64_t>(r)];
+    }
+  }
+  auto diag_length = [&](std::int64_t offset) {
+    const std::int64_t r0 = std::max<std::int64_t>(0, -offset);
+    const std::int64_t r1 = std::min<std::int64_t>(
+        a.rows(), static_cast<std::int64_t>(a.cols()) - offset);
+    return std::max<std::int64_t>(0, r1 - r0);
+  };
+
+  // Route entries.
+  CooBuilder dia_part(a.rows(), a.cols());
+  CooBuilder csr_part(a.rows(), a.cols());
+  bool any_csr = false;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::int64_t offset = static_cast<std::int64_t>(ci[k]) -
+                                  static_cast<std::int64_t>(r);
+      const double occupancy =
+          static_cast<double>(diag_counts[offset]) /
+          static_cast<double>(std::max<std::int64_t>(1, diag_length(offset)));
+      if (occupancy >= occupancy_threshold) {
+        dia_part.add(r, ci[k], v[k]);
+      } else {
+        csr_part.add(r, ci[k], v[k]);
+        any_csr = true;
+      }
+    }
+  }
+  HybridDiaMatrix h;
+  h.dia_ = DiaMatrix::from_csr(dia_part.build());
+  h.remainder_ = csr_part.build();
+  (void)any_csr;
+  return h;
+}
+
+void HybridDiaMatrix::multiply(std::span<const double> x,
+                               std::span<double> y) const {
+  dia_.multiply(x, y);
+  spmv_reference(remainder_, x, y);
+}
+
+double HybridDiaMatrix::dia_fraction() const {
+  const std::uint64_t total = dia_.true_nnz() + remainder_.nnz();
+  return total == 0 ? 1.0
+                    : static_cast<double>(dia_.true_nnz()) /
+                          static_cast<double>(total);
+}
+
+std::uint64_t HybridDiaMatrix::footprint_bytes() const {
+  // Remainder accounted as plain 32-bit-index CSR.
+  const std::uint64_t csr_bytes =
+      remainder_.nnz() * 12 +
+      (static_cast<std::uint64_t>(remainder_.rows()) + 1) * 4;
+  return dia_.footprint_bytes() + csr_bytes;
+}
+
+}  // namespace spmv

@@ -1,0 +1,161 @@
+#include "matrix/matrix_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace spmv {
+
+MatrixStats compute_stats(const CsrMatrix& m) {
+  MatrixStats s;
+  s.rows = m.rows();
+  s.cols = m.cols();
+  s.nnz = m.nnz();
+  s.nnz_per_row = m.nnz_per_row();
+  s.empty_rows = m.empty_rows();
+  s.min_row_nnz = s.nnz;
+  s.max_row_nnz = 0;
+
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  const double scale =
+      s.rows == 0 ? 1.0
+                  : static_cast<double>(s.cols) / static_cast<double>(s.rows);
+  const double near_band = 0.01 * static_cast<double>(s.cols);
+  double spread_sum = 0.0;
+  std::uint64_t near = 0;
+
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    const std::uint64_t n = m.row_nnz(r);
+    s.min_row_nnz = std::min(s.min_row_nnz, n);
+    s.max_row_nnz = std::max(s.max_row_nnz, n);
+    const double diag_col = static_cast<double>(r) * scale;
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double d = std::abs(static_cast<double>(col_idx[k]) - diag_col);
+      spread_sum += d;
+      if (d <= near_band) ++near;
+    }
+  }
+  if (s.nnz > 0) {
+    spread_sum /= static_cast<double>(s.nnz);
+    s.diag_spread = spread_sum / static_cast<double>(s.cols);
+    s.near_diag_fraction =
+        static_cast<double>(near) / static_cast<double>(s.nnz);
+  }
+  if (s.nnz == 0) s.min_row_nnz = 0;
+  return s;
+}
+
+std::uint64_t count_blocks(const CsrMatrix& m, unsigned r, unsigned c) {
+  if (r == 0 || c == 0) throw std::invalid_argument("count_blocks: zero tile");
+  if (r > 8) throw std::invalid_argument("count_blocks: tile height > 8");
+  // Scan r consecutive rows at a time with a cursor per row; count distinct
+  // column-tile coordinates across the row stripe.  One pass, O(nnz).
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  std::uint64_t blocks = 0;
+  for (std::uint32_t r0 = 0; r0 < m.rows(); r0 += r) {
+    const std::uint32_t r1 = std::min<std::uint32_t>(r0 + r, m.rows());
+    std::array<std::uint64_t, 8> cur{}, end{};
+    const unsigned height = r1 - r0;
+    for (unsigned i = 0; i < height; ++i) {
+      cur[i] = row_ptr[r0 + i];
+      end[i] = row_ptr[r0 + i + 1];
+    }
+    for (;;) {
+      // Find the smallest next column tile among the stripe's cursors.
+      std::uint32_t next_tile = UINT32_MAX;
+      for (unsigned i = 0; i < height; ++i) {
+        if (cur[i] < end[i]) {
+          next_tile = std::min(next_tile, col_idx[cur[i]] / c);
+        }
+      }
+      if (next_tile == UINT32_MAX) break;
+      ++blocks;
+      // Advance every cursor past this column tile.
+      const std::uint64_t tile_end =
+          static_cast<std::uint64_t>(next_tile + 1) * c;
+      for (unsigned i = 0; i < height; ++i) {
+        while (cur[i] < end[i] && col_idx[cur[i]] < tile_end) ++cur[i];
+      }
+    }
+  }
+  return blocks;
+}
+
+double block_fill_ratio(const CsrMatrix& m, unsigned r, unsigned c) {
+  if (m.nnz() == 0) return 1.0;
+  const std::uint64_t blocks = count_blocks(m, r, c);
+  return static_cast<double>(blocks) * r * c / static_cast<double>(m.nnz());
+}
+
+double nnz_per_row_per_stripe(const CsrMatrix& m, std::uint32_t stripe_cols) {
+  if (stripe_cols == 0) {
+    throw std::invalid_argument("nnz_per_row_per_stripe: zero stripe");
+  }
+  // For each (row, stripe) pair with at least one nonzero, accumulate its
+  // nonzero count; report the mean across pairs.
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  std::uint64_t pairs = 0;
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    std::uint64_t k = row_ptr[r];
+    while (k < row_ptr[r + 1]) {
+      const std::uint32_t stripe = col_idx[k] / stripe_cols;
+      const std::uint64_t stripe_end =
+          static_cast<std::uint64_t>(stripe + 1) * stripe_cols;
+      while (k < row_ptr[r + 1] && col_idx[k] < stripe_end) ++k;
+      ++pairs;
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(m.nnz()) / static_cast<double>(pairs);
+}
+
+std::vector<std::uint64_t> density_grid(const CsrMatrix& m,
+                                        std::uint32_t grid_rows,
+                                        std::uint32_t grid_cols) {
+  if (grid_rows == 0 || grid_cols == 0) {
+    throw std::invalid_argument("density_grid: zero grid");
+  }
+  std::vector<std::uint64_t> grid(
+      static_cast<std::size_t>(grid_rows) * grid_cols, 0);
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    const std::uint64_t gr =
+        static_cast<std::uint64_t>(r) * grid_rows / m.rows();
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::uint64_t gc =
+          static_cast<std::uint64_t>(col_idx[k]) * grid_cols / m.cols();
+      ++grid[gr * grid_cols + gc];
+    }
+  }
+  return grid;
+}
+
+std::string render_spyplot(const CsrMatrix& m, std::uint32_t grid) {
+  const auto counts = density_grid(m, grid, grid);
+  const std::uint64_t peak =
+      *std::max_element(counts.begin(), counts.end());
+  static constexpr char shades[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(grid) * (grid + 1));
+  for (std::uint32_t r = 0; r < grid; ++r) {
+    for (std::uint32_t c = 0; c < grid; ++c) {
+      const std::uint64_t n = counts[static_cast<std::size_t>(r) * grid + c];
+      std::size_t level = 0;
+      if (peak > 0 && n > 0) {
+        level = 1 + n * 8 / peak;
+        level = std::min<std::size_t>(level, 9);
+      }
+      out.push_back(shades[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace spmv

@@ -1,0 +1,55 @@
+// Structural statistics of a sparse matrix — the quantities Section 5.1 of
+// the paper uses to predict SpMV performance (nnz/row, empty rows, block
+// substructure, diagonal concentration, nnz per row per cache block).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace spmv {
+
+struct MatrixStats {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t nnz = 0;
+  double nnz_per_row = 0.0;
+  std::uint32_t empty_rows = 0;
+  std::uint64_t min_row_nnz = 0;
+  std::uint64_t max_row_nnz = 0;
+  /// Mean |col - row * cols/rows| normalized by cols: 0 for a perfectly
+  /// diagonal matrix, ~1/3 for uniform scatter.
+  double diag_spread = 0.0;
+  /// Fraction of nonzeros within +-1% of the (scaled) diagonal.
+  double near_diag_fraction = 0.0;
+};
+
+MatrixStats compute_stats(const CsrMatrix& m);
+
+/// Fill ratio of r×c register tiles aligned to the (r, c) grid:
+///   fill = r*c*tiles(r, c) / nnz  >= 1.
+/// A ratio near 1 means natural dense block substructure (FEM matrices);
+/// this is the quantity the one-pass tuner minimizes storage over.
+double block_fill_ratio(const CsrMatrix& m, unsigned r, unsigned c);
+
+/// Number of non-empty r×c tiles on the aligned grid.
+std::uint64_t count_blocks(const CsrMatrix& m, unsigned r, unsigned c);
+
+/// Mean nonzeros per non-empty row within column stripes of `stripe_cols`
+/// columns — the §5.1 "nonzeros per row per cache block" statistic that
+/// predicts loop-overhead-bound behaviour (e.g. FEM/Accelerator at 17K
+/// columns per block has ~3 nnz/row/block).
+double nnz_per_row_per_stripe(const CsrMatrix& m, std::uint32_t stripe_cols);
+
+/// Coarse density grid (like the paper's spyplots): counts of nonzeros in a
+/// grid_rows × grid_cols partition of the matrix, row-major.
+std::vector<std::uint64_t> density_grid(const CsrMatrix& m,
+                                        std::uint32_t grid_rows,
+                                        std::uint32_t grid_cols);
+
+/// Render the density grid as ASCII art (darker glyph = denser cell).
+std::string render_spyplot(const CsrMatrix& m, std::uint32_t grid = 24);
+
+}  // namespace spmv

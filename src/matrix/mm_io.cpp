@@ -1,0 +1,133 @@
+#include "matrix/mm_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "matrix/coo.h"
+
+namespace spmv {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  std::ostringstream os;
+  os << "matrix market parse error at line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++lineno;
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail(lineno, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail(lineno, "object must be 'matrix'");
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format != "coordinate") {
+    fail(lineno, "only coordinate format is supported, got '" + format + "'");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    fail(lineno, "unsupported field '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general") {
+    fail(lineno, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments and blank lines up to the size line.
+  std::uint64_t rows = 0, cols = 0, declared_nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) fail(lineno + 1, "missing size line");
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> declared_nnz)) {
+      fail(lineno, "malformed size line");
+    }
+    break;
+  }
+  if (rows == 0 || cols == 0) fail(lineno, "zero matrix dimension");
+  if (rows > 0xffffffffull || cols > 0xffffffffull) {
+    fail(lineno, "dimensions exceed 32-bit row/col index space");
+  }
+
+  CooBuilder builder(static_cast<std::uint32_t>(rows),
+                     static_cast<std::uint32_t>(cols));
+  builder.reserve(declared_nnz * (symmetric || skew ? 2 : 1));
+
+  std::uint64_t seen = 0;
+  while (seen < declared_nnz) {
+    if (!std::getline(in, line)) {
+      fail(lineno + 1, "unexpected end of file: fewer entries than declared");
+    }
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    std::uint64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) fail(lineno, "malformed entry");
+    if (!pattern && !(entry >> v)) fail(lineno, "missing value");
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      fail(lineno, "entry coordinate out of range");
+    }
+    const auto ri = static_cast<std::uint32_t>(r - 1);
+    const auto ci = static_cast<std::uint32_t>(c - 1);
+    if (symmetric) {
+      builder.add_symmetric(ri, ci, v);
+    } else if (skew) {
+      builder.add(ri, ci, v);
+      if (ri != ci) builder.add(ci, ri, -v);
+    } else {
+      builder.add(ri, ci, v);
+    }
+    ++seen;
+  }
+  return builder.build();
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open matrix file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  const auto values = m.values();
+  out.precision(17);
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      out << (r + 1) << ' ' << (col_idx[k] + 1) << ' ' << values[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace spmv

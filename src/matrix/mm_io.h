@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's suite is distributed in Harwell-Boeing / Matrix Market files;
+// we support the coordinate real/integer/pattern flavors with general or
+// symmetric storage, which covers every matrix in Table 3.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csr.h"
+
+namespace spmv {
+
+/// Parse a Matrix Market stream into CSR.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper around the stream reader.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate/real/general form (1-based indices per the spec).
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace spmv

@@ -1,0 +1,124 @@
+#include "matrix/reorder.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "matrix/coo.h"
+
+namespace spmv {
+
+std::vector<std::uint32_t> reverse_cuthill_mckee(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("reverse_cuthill_mckee: square matrices only");
+  }
+  const std::uint32_t n = a.rows();
+  // Symmetrize the pattern: adjacency = pattern(A) U pattern(A^T).
+  const CsrMatrix at = a.transpose();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  auto add_edges = [&](const CsrMatrix& m) {
+    const auto rp = m.row_ptr();
+    const auto ci = m.col_idx();
+    for (std::uint32_t r = 0; r < n; ++r) {
+      for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] != r) adj[r].push_back(ci[k]);
+      }
+    }
+  };
+  add_edges(a);
+  add_edges(at);
+  std::vector<std::uint32_t> degree(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto& nbrs = adj[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    degree[v] = static_cast<std::uint32_t>(nbrs.size());
+  }
+
+  // Vertices by ascending degree, to seed each component cheaply.
+  std::vector<std::uint32_t> by_degree(n);
+  for (std::uint32_t v = 0; v < n; ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              return degree[x] != degree[y] ? degree[x] < degree[y] : x < y;
+            });
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> frontier;
+  for (const std::uint32_t seed : by_degree) {
+    if (visited[seed]) continue;
+    // Cuthill-McKee BFS from the component's minimum-degree vertex,
+    // neighbors expanded in ascending-degree order.
+    std::queue<std::uint32_t> queue;
+    queue.push(seed);
+    visited[seed] = true;
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      frontier.clear();
+      for (const std::uint32_t w : adj[v]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          frontier.push_back(w);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [&](std::uint32_t x, std::uint32_t y) {
+                  return degree[x] != degree[y] ? degree[x] < degree[y]
+                                                : x < y;
+                });
+      for (const std::uint32_t w : frontier) queue.push(w);
+    }
+  }
+  // Reverse (the R in RCM).
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a,
+                            const std::vector<std::uint32_t>& perm) {
+  if (a.rows() != a.cols() || perm.size() != a.rows()) {
+    throw std::invalid_argument("permute_symmetric: size mismatch");
+  }
+  const std::vector<std::uint32_t> inv = invert_permutation(perm);
+  CooBuilder b(a.rows(), a.cols());
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      b.add(inv[r], inv[ci[k]], v[k]);
+    }
+  }
+  return b.build();
+}
+
+std::uint32_t matrix_bandwidth(const CsrMatrix& a) {
+  std::uint32_t band = 0;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::uint32_t c = ci[k];
+      band = std::max(band, c > r ? c - r : r - c);
+    }
+  }
+  return band;
+}
+
+std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> inv(perm.size(), UINT32_MAX);
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] >= perm.size() || inv[perm[i]] != UINT32_MAX) {
+      throw std::invalid_argument("invert_permutation: not a bijection");
+    }
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+}  // namespace spmv

@@ -1,0 +1,35 @@
+// Locality-enhancing row/column reordering.
+//
+// SPARSITY/OSKI (the paper's §2.1 lineage) include "locality-enhancing
+// reordering" among their techniques.  Reverse Cuthill-McKee permutes a
+// symmetric-pattern matrix so nonzeros concentrate near the diagonal,
+// shrinking the live source-vector window — the same effect the traffic
+// model (model/traffic.h) captures via diag_spread, and the preprocessing
+// step that turns a scattered matrix into a cache-friendly one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace spmv {
+
+/// Reverse Cuthill-McKee ordering of the symmetrized pattern of `a`
+/// (square matrices only).  Returns perm with perm[new_index] =
+/// old_index; disconnected components are ordered one after another,
+/// each seeded from its minimum-degree vertex.
+std::vector<std::uint32_t> reverse_cuthill_mckee(const CsrMatrix& a);
+
+/// Apply a symmetric permutation: result(i, j) = a(perm[i], perm[j]).
+CsrMatrix permute_symmetric(const CsrMatrix& a,
+                            const std::vector<std::uint32_t>& perm);
+
+/// Matrix bandwidth: max |col - row| over nonzeros (0 for diagonal/empty).
+std::uint32_t matrix_bandwidth(const CsrMatrix& a);
+
+/// Inverse permutation (perm must be a bijection on [0, n)).
+std::vector<std::uint32_t> invert_permutation(
+    const std::vector<std::uint32_t>& perm);
+
+}  // namespace spmv

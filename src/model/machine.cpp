@@ -1,0 +1,190 @@
+#include "model/machine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv::model {
+
+double sustained_bandwidth_gbps(const Machine& m, const RunConfig& cfg,
+                                bool prefetched) {
+  const double threads = cfg.total_threads();
+  double thread_limit = threads * m.per_thread_gbps;
+  if (!prefetched) thread_limit *= m.no_prefetch_bw_derate;
+  double socket_limit =
+      cfg.sockets_used * m.dram_gbps_per_socket * m.socket_bw_efficiency;
+  if (cfg.sockets_used > 1) socket_limit *= m.multisocket_bw_scaling;
+  return std::min(thread_limit, socket_limit);
+}
+
+Machine amd_x2() {
+  Machine m;
+  m.name = "AMD X2";
+  m.sockets = 2;
+  m.cores_per_socket = 2;
+  m.threads_per_core = 1;
+  m.clock_ghz = 2.2;
+  m.gflops_per_core = 4.4;
+  m.dram_gbps_per_socket = 10.66;
+  m.cache_bytes_per_socket = 2.0 * 1024 * 1024;  // 1MB victim cache per core
+  m.cache_bytes_total = 4.0 * 1024 * 1024;
+  m.watts_sockets = 190;
+  m.watts_system = 275;
+  // One core extracts 5.4 GB/s of the 10.6 peak (Table 4); two cores reach
+  // only 6.61 (62%), so the socket ceiling binds before thread concurrency.
+  m.per_thread_gbps = 5.4;
+  m.socket_bw_efficiency = 0.62;
+  // Dual socket scales nearly linearly thanks to on-socket controllers:
+  // 12.55 / (2 * 6.61) = 0.95.
+  m.multisocket_bw_scaling = 0.95;
+  // Software prefetch into L1 (with NT hints) was the paper's biggest
+  // serial win on the Opteron.
+  m.no_prefetch_bw_derate = 0.72;
+  m.cycles_per_nonzero = 2.0;   // 3-wide OOO sustains ~1 nnz / 2 cycles
+  m.loop_overhead_cycles = 12;  // short-row startup incl. mispredict share
+  m.inorder_latency_cycles = 0.0;
+  return m;
+}
+
+Machine clovertown() {
+  Machine m;
+  m.name = "Clovertown";
+  m.sockets = 2;
+  m.cores_per_socket = 4;
+  m.threads_per_core = 1;
+  m.clock_ghz = 2.33;
+  m.gflops_per_core = 9.33;
+  m.dram_gbps_per_socket = 10.66;  // one FSB per socket
+  m.cache_bytes_per_socket = 8.0 * 1024 * 1024;
+  m.cache_bytes_total = 16.0 * 1024 * 1024;
+  m.watts_sockets = 160;
+  m.watts_system = 333;
+  // A single Core2 extracts only 3.62 GB/s from its FSB (Table 4 and the
+  // paper's own surprise); two cores saturate the sustainable 6.56 GB/s.
+  m.per_thread_gbps = 3.62;
+  m.socket_bw_efficiency = 0.615;
+  // Dual-socket dense run reaches 8.86 vs 13.12 linear: FSB snoop traffic
+  // through the shared Blackford chipset.
+  m.multisocket_bw_scaling = 0.675;
+  // Hardware prefetchers are strong; software prefetch rarely helps.
+  m.no_prefetch_bw_derate = 0.95;
+  m.cycles_per_nonzero = 1.6;  // 4-wide OOO with full 128b SSE
+  m.loop_overhead_cycles = 10;
+  m.inorder_latency_cycles = 0.0;
+  return m;
+}
+
+Machine niagara() {
+  Machine m;
+  m.name = "Niagara";
+  m.sockets = 1;
+  m.cores_per_socket = 8;
+  m.threads_per_core = 4;
+  m.clock_ghz = 1.0;
+  m.gflops_per_core = 1.0;  // 64-bit integer proxy, as in the paper
+  m.dram_gbps_per_socket = 25.6;
+  m.cache_bytes_per_socket = 3.0 * 1024 * 1024;
+  m.cache_bytes_total = 3.0 * 1024 * 1024;
+  m.watts_sockets = 72;
+  m.watts_system = 267;
+  // One thread: a 16-byte L1 line every ~61 ns => 0.26 GB/s (Table 4: 1%
+  // of peak!).  Threads scale linearly until the L2/crossbar ceiling of
+  // 5.02 GB/s (20% of DRAM peak) binds at ~20 threads.
+  m.per_thread_gbps = 0.26;
+  m.socket_bw_efficiency = 0.196;
+  m.multisocket_bw_scaling = 1.0;
+  // Prefetch only reaches the L2 on Niagara, so it buys nothing.
+  m.no_prefetch_bw_derate = 1.0;
+  // §6.1's arithmetic: ~10 cycles of instruction execution + 10 of
+  // multiply latency + 23-48 of memory latency per nonzero puts a single
+  // thread at 29-46 Mflop/s.  Split as ~5 issue cycles plus 26 exposed
+  // latency cycles (hidden progressively by CMT threads), which lands the
+  // measured 0.065 / 0.51 / 1.24 Gflop/s ladder of Table 4.
+  m.cycles_per_nonzero = 5.0;
+  m.loop_overhead_cycles = 10;
+  m.inorder_latency_cycles = 26.0;
+  return m;
+}
+
+namespace {
+Machine cell_common() {
+  Machine m;
+  m.threads_per_core = 1;
+  m.clock_ghz = 3.2;
+  m.gflops_per_core = 1.83;  // half-pumped, partially pipelined DP FPU
+  m.dram_gbps_per_socket = 25.6;
+  // One SPE's double-buffered DMA sustains 3.25 GB/s; a full 8-SPE socket
+  // reaches 91% of XDR peak (Table 4) — the local-store advantage.
+  m.per_thread_gbps = 3.25;
+  m.socket_bw_efficiency = 0.91;
+  m.no_prefetch_bw_derate = 1.0;  // DMA is always explicit
+  // SPE: 1 DP SIMD instruction / 7 cycles => ~3.5 cycles per nonzero, but
+  // loop overhead and branch misses dominate short rows (§6.5).
+  m.cycles_per_nonzero = 3.5;
+  m.loop_overhead_cycles = 20;  // branch miss penalty, no predictor
+  m.inorder_latency_cycles = 0.0;  // DMA hides memory latency
+  m.local_store = true;
+  m.dense_cache_blocks_only = true;  // §4.4 implementation restriction
+  return m;
+}
+}  // namespace
+
+Machine cell_ps3() {
+  Machine m = cell_common();
+  m.name = "Cell PS3";
+  m.sockets = 1;
+  m.cores_per_socket = 6;
+  m.cache_bytes_per_socket = 6.0 * 256 * 1024;
+  m.cache_bytes_total = m.cache_bytes_per_socket;
+  m.multisocket_bw_scaling = 1.0;
+  m.watts_sockets = 100;
+  m.watts_system = 200;
+  return m;
+}
+
+Machine cell_blade() {
+  Machine m = cell_common();
+  m.name = "Cell Blade";
+  m.sockets = 2;
+  m.cores_per_socket = 8;
+  m.cache_bytes_per_socket = 8.0 * 256 * 1024;
+  m.cache_bytes_total = 2 * m.cache_bytes_per_socket;
+  // Page interleaving between nodes (no NUMA optimization in the paper's
+  // Cell code): 31.5 / (2 * 23.2) = 0.68.
+  m.multisocket_bw_scaling = 0.68;
+  m.watts_sockets = 200;
+  m.watts_system = 315;
+  return m;
+}
+
+Machine niagara2_projection() {
+  Machine m = niagara();
+  m.name = "Niagara-2 (proj.)";
+  m.threads_per_core = 8;
+  m.clock_ghz = 1.4;  // "40% higher frequency"
+  m.gflops_per_core = 1.4;  // fully pipelined per-core DP FPU, 1 flop/cycle
+  // FB-DIMM memory system raised the bandwidth ceiling substantially;
+  // keep the conservative same-fraction assumption the paper implies.
+  m.dram_gbps_per_socket = 42.7;  // 4x dual-channel FB-DIMM
+  m.socket_bw_efficiency = 0.196;
+  // Same in-order core, scaled by clock: per-thread extraction rises with
+  // frequency.
+  m.per_thread_gbps = 0.26 * 1.4;
+  m.cycles_per_nonzero = 5.0;
+  m.inorder_latency_cycles = 26.0;
+  return m;
+}
+
+const std::vector<Machine>& all_machines() {
+  static const std::vector<Machine> machines = {
+      amd_x2(), clovertown(), niagara(), cell_ps3(), cell_blade()};
+  return machines;
+}
+
+const Machine& machine_by_name(const std::string& name) {
+  for (const Machine& m : all_machines()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("unknown machine: " + name);
+}
+
+}  // namespace spmv::model

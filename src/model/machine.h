@@ -1,0 +1,127 @@
+// Machine descriptors for the five evaluated systems (paper Table 1) and
+// the sustained-bandwidth model.
+//
+// We do not have 2007 hardware; we have the paper's own architectural
+// analysis (§3, §5.1, §6.1), which reasons about SpMV purely through
+// (a) peak flop rates, (b) a latency-concurrency sustained-bandwidth model,
+// and (c) per-architecture loop/issue overheads.  This module encodes Table
+// 1 plus those analysis parameters, so the benches can regenerate the
+// paper's cross-platform tables from first principles on any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spmv::model {
+
+struct Machine {
+  std::string name;
+
+  // --- Table 1 data ---
+  unsigned sockets = 1;
+  unsigned cores_per_socket = 1;
+  unsigned threads_per_core = 1;
+  double clock_ghz = 1.0;
+  /// Peak double-precision Gflop/s per core (Niagara: 64-bit integer-op
+  /// proxy, as in the paper).
+  double gflops_per_core = 1.0;
+  /// Peak DRAM bandwidth per socket, GB/s.
+  double dram_gbps_per_socket = 10.0;
+  /// Aggregate on-chip cache usable for vector blocking, bytes (Cell: local
+  /// store aggregated over SPEs).
+  double cache_bytes_total = 1 << 20;
+  double cache_bytes_per_socket = 1 << 20;
+  double watts_sockets = 100.0;
+  double watts_system = 250.0;
+
+  // --- sustained-bandwidth model (latency-concurrency, §6.1) ---
+  /// Streaming bandwidth one hardware thread can extract, GB/s
+  /// (outstanding-miss bytes / effective memory latency).
+  double per_thread_gbps = 1.0;
+  /// Fraction of a socket's peak DRAM bandwidth that is achievable
+  /// (FSB/crossbar/DMA efficiency).
+  double socket_bw_efficiency = 0.6;
+  /// Multiplier on aggregate bandwidth when using >1 socket (NUMA page
+  /// interleave or FSB snoop losses; 1.0 = perfect scaling).
+  double multisocket_bw_scaling = 1.0;
+  /// Derate on sustained bandwidth when software prefetch / DMA is absent
+  /// (the "naive" rung); 1.0 where prefetch never helps (Niagara, Cell).
+  double no_prefetch_bw_derate = 0.75;
+
+  // --- kernel-overhead model (§5.1, §6.1, §6.5) ---
+  /// Issue-limited cycles per (scalar) nonzero in a long row.
+  double cycles_per_nonzero = 2.0;
+  /// Extra cycles per encountered row: loop startup + expected branch cost.
+  double loop_overhead_cycles = 8.0;
+  /// Extra memory-latency cycles per nonzero for a *single* thread on an
+  /// in-order core with no L1 prefetch (Niagara's 23–48 cycle analysis);
+  /// divided by threads/core as CMT hides it.  Zero for OOO cores.
+  double inorder_latency_cycles = 0.0;
+
+  // --- implementation restrictions (§4.4) ---
+  bool local_store = false;          ///< Cell: DMA/local-store
+  bool dense_cache_blocks_only = false;  ///< Cell implementation limitation
+
+  [[nodiscard]] unsigned total_cores() const {
+    return sockets * cores_per_socket;
+  }
+  [[nodiscard]] double peak_gflops_system() const {
+    return gflops_per_core * total_cores();
+  }
+  [[nodiscard]] double peak_dram_gbps_system() const {
+    return dram_gbps_per_socket * sockets;
+  }
+};
+
+/// A run configuration: how much of the machine a measurement uses.
+struct RunConfig {
+  unsigned sockets_used = 1;
+  unsigned cores_per_socket_used = 1;
+  unsigned threads_per_core_used = 1;
+
+  [[nodiscard]] unsigned total_threads() const {
+    return sockets_used * cores_per_socket_used * threads_per_core_used;
+  }
+  [[nodiscard]] unsigned total_cores() const {
+    return sockets_used * cores_per_socket_used;
+  }
+
+  static RunConfig one_core() { return {1, 1, 1}; }
+  /// "1 full socket" in the paper's tables packs all cores at one thread
+  /// each (Table 4's Niagara socket row is 8 cores x 1 thread = 2.06 GB/s);
+  /// CMT threads only join at the full-system configuration.
+  static RunConfig full_socket(const Machine& m) {
+    return {1, m.cores_per_socket, 1};
+  }
+  static RunConfig full_system(const Machine& m) {
+    return {m.sockets, m.cores_per_socket, m.threads_per_core};
+  }
+};
+
+/// Sustained streaming bandwidth (GB/s) for a configuration:
+///   min(threads × per-thread extraction, sockets × socket ceiling),
+/// with the multi-socket scaling penalty applied when >1 socket is active.
+/// `prefetched` selects whether the software-prefetch derate is waived.
+double sustained_bandwidth_gbps(const Machine& m, const RunConfig& cfg,
+                                bool prefetched = true);
+
+// Table 1 instantiations.
+Machine amd_x2();
+Machine clovertown();
+Machine niagara();
+Machine cell_ps3();
+Machine cell_blade();
+
+/// The paper's §6.4 forward projection: "Niagara-2 performance, with twice
+/// as many threads (8 cores with 8 threads each) running at 40% higher
+/// frequency" and real per-core double-precision FPUs.  Not part of Table
+/// 1; used by the Niagara bench to regenerate the projection.
+Machine niagara2_projection();
+
+/// All five systems in paper order.
+const std::vector<Machine>& all_machines();
+
+const Machine& machine_by_name(const std::string& name);
+
+}  // namespace spmv::model

@@ -1,0 +1,208 @@
+#include "model/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cache_block.h"
+#include "core/partition.h"
+#include "core/tuner.h"
+
+namespace spmv::model {
+
+const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kNaive: return "naive";
+    case OptLevel::kPrefetch: return "+PF";
+    case OptLevel::kRegisterBlocked: return "+PF+RB";
+    case OptLevel::kCacheBlocked: return "+PF+RB+CB";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sum tuned footprints over the cache blocks the real heuristic would
+/// create for this machine, without encoding any payloads.
+struct TunedFootprint {
+  std::uint64_t bytes = 0;
+  double mean_tile_rows = 1.0;
+};
+
+TunedFootprint tuned_footprint(const CsrMatrix& m, const Machine& mach,
+                               bool cache_blocked) {
+  CacheBlockParams cb;
+  cb.cache_blocking = cache_blocked;
+  cb.tlb_blocking = cache_blocked;
+  // Per-core share of the socket's cache (Cell: the SPE local store).
+  cb.cache_bytes = static_cast<std::size_t>(
+      std::max(64.0 * 1024,
+               mach.cache_bytes_per_socket / mach.cores_per_socket));
+  cb.line_bytes = 64;
+  cb.page_bytes = 4096;
+  cb.tlb_entries = 64;
+
+  TuningOptions opt;
+  opt.register_blocking = true;
+  opt.allow_bcoo = true;
+  opt.index_compression = true;
+
+  TunedFootprint out;
+  double weighted_rows = 0.0;
+  std::uint64_t nnz = 0;
+  for (const BlockExtent& e : plan_cache_blocks(m, 0, m.rows(), cb)) {
+    const BlockDecision d = choose_encoding(m, e, opt);
+    out.bytes += d.footprint_bytes;
+    weighted_rows += static_cast<double>(d.nnz) * d.br;
+    nnz += d.nnz;
+  }
+  out.mean_tile_rows = nnz == 0 ? 1.0 : weighted_rows / static_cast<double>(nnz);
+  return out;
+}
+
+}  // namespace
+
+MatrixModelInput analyze_matrix(const CsrMatrix& m, const Machine& mach) {
+  MatrixModelInput in;
+  in.stats = compute_stats(m);
+  in.csr_bytes = csr_footprint(m.nnz(), m.rows());
+
+  if (mach.dense_cache_blocks_only) {
+    // The paper's Cell kernel: plain dense cache blocks, 2-byte indices,
+    // no register blocking — 10 bytes per stored nonzero plus row starts.
+    in.rb_bytes = m.nnz() * 10 + static_cast<std::uint64_t>(m.rows()) * 4;
+    in.rb_cb_bytes = in.rb_bytes;
+    in.mean_tile_rows = 1.0;
+  } else {
+    const TunedFootprint no_cb = tuned_footprint(m, mach, false);
+    const TunedFootprint with_cb = tuned_footprint(m, mach, true);
+    in.rb_bytes = no_cb.bytes;
+    in.rb_cb_bytes = with_cb.bytes;
+    in.mean_tile_rows = with_cb.mean_tile_rows;
+  }
+
+  // §5.1 statistic at this machine's per-core source-vector reach.
+  const double x_share =
+      0.5 * mach.cache_bytes_per_socket / mach.cores_per_socket;
+  const auto stripe = static_cast<std::uint32_t>(std::clamp(
+      x_share / 8.0, 512.0, static_cast<double>(m.cols())));
+  in.nnz_per_row_per_block = std::max(1.0, nnz_per_row_per_stripe(m, stripe));
+  const double filled_rows =
+      static_cast<double>(m.rows() - in.stats.empty_rows);
+  in.nnz_per_row_full =
+      filled_rows == 0.0
+          ? 1.0
+          : static_cast<double>(m.nnz()) / filled_rows;
+
+  const auto parts = partition_rows_equal(m.rows(), mach.total_cores());
+  in.equal_rows_imbalance = partition_imbalance(m, parts);
+  return in;
+}
+
+namespace {
+
+Prediction predict_impl(const Machine& mach, const RunConfig& cfg,
+                        const MatrixModelInput& in, OptLevel level,
+                        bool prefetched, bool compressed_indices,
+                        double bw_scale = 1.0) {
+  const MatrixStats& s = in.stats;
+
+  // Cell's implementation is always (dense) cache blocked; otherwise the
+  // rung decides.
+  const bool cache_blocked =
+      mach.dense_cache_blocks_only || level >= OptLevel::kCacheBlocked;
+  const bool register_blocked =
+      !mach.dense_cache_blocks_only && level >= OptLevel::kRegisterBlocked;
+
+  std::uint64_t matrix_bytes;
+  if (mach.dense_cache_blocks_only) {
+    matrix_bytes = in.rb_bytes;  // the fixed Cell format
+  } else if (register_blocked) {
+    matrix_bytes = cache_blocked ? in.rb_cb_bytes : in.rb_bytes;
+    if (!compressed_indices) {
+      // OSKI path: scale the index share back up to 32-bit.  Index bytes
+      // are roughly footprint − 8·nnz·fill; assume 16-bit was chosen
+      // everywhere it mattered.
+      const double values = 8.0 * static_cast<double>(s.nnz);
+      const double idx = static_cast<double>(matrix_bytes) - values;
+      matrix_bytes = static_cast<std::uint64_t>(values + std::max(idx, 0.0) * 2.0);
+    }
+  } else {
+    matrix_bytes = in.csr_bytes;
+  }
+
+  TrafficInput ti;
+  ti.stats = s;
+  ti.matrix_bytes = matrix_bytes;
+  ti.cache_bytes = mach.cache_bytes_per_socket * cfg.sockets_used;
+  ti.line_bytes = 64;
+  ti.cache_blocked = cache_blocked;
+  const TrafficEstimate traffic = estimate_traffic(ti);
+
+  const double bw =
+      bw_scale *
+      sustained_bandwidth_gbps(mach, cfg, prefetched || mach.local_store);
+  const double time_bw = traffic.total_bytes() / (bw * 1e9);
+
+  // Kernel cycles.  Loop startup is paid once per (row, cache block)
+  // segment; register blocking divides the segment count by the mean tile
+  // height; in-order exposed latency is divided across a core's threads.
+  const double seg_nnz = cache_blocked
+                             ? in.nnz_per_row_per_block
+                             : in.nnz_per_row_full;
+  double segments = static_cast<double>(s.nnz) / std::max(1.0, seg_nnz);
+  if (register_blocked) segments /= std::max(1.0, in.mean_tile_rows);
+  const double latency_cycles =
+      mach.inorder_latency_cycles / cfg.threads_per_core_used;
+  const double cycles =
+      static_cast<double>(s.nnz) * (mach.cycles_per_nonzero + latency_cycles) +
+      segments * mach.loop_overhead_cycles;
+  const double time_compute =
+      cycles / (mach.clock_ghz * 1e9 * cfg.total_cores());
+
+  Prediction p;
+  p.time_bw_s = time_bw;
+  p.time_compute_s = time_compute;
+  p.flop_byte = traffic.flop_byte_ratio();
+  const double time = std::max(time_bw, time_compute);
+  p.gflops = time == 0.0 ? 0.0 : traffic.flops / time / 1e9;
+  p.sustained_gbps = time == 0.0 ? 0.0 : traffic.total_bytes() / time / 1e9;
+  return p;
+}
+
+}  // namespace
+
+Prediction predict(const Machine& mach, const RunConfig& cfg,
+                   const MatrixModelInput& in, OptLevel level) {
+  const bool prefetched = level >= OptLevel::kPrefetch;
+  return predict_impl(mach, cfg, in, level, prefetched,
+                      /*compressed_indices=*/true);
+}
+
+Prediction predict_oski(const Machine& mach, const MatrixModelInput& in) {
+  // OSKI leans on the hardware prefetchers (it emits no software prefetch),
+  // which recover roughly half of the gap to a tuned-prefetch stream —
+  // landing the paper's 1.2-1.4x serial advantage rather than the full
+  // naive derate.
+  const double hw_prefetch = 0.5 * (1.0 + mach.no_prefetch_bw_derate);
+  return predict_impl(mach, RunConfig::one_core(), in,
+                      OptLevel::kCacheBlocked, /*prefetched=*/true,
+                      /*compressed_indices=*/false, hw_prefetch);
+}
+
+Prediction predict_oski_petsc(const Machine& mach, const MatrixModelInput& in,
+                              double comm_fraction) {
+  // All cores run OSKI locally; ghost exchange through shmem-MPI copies
+  // costs comm_fraction of the runtime, and the equal-rows distribution
+  // stretches the critical path by the imbalance factor.
+  const double hw_prefetch = 0.5 * (1.0 + mach.no_prefetch_bw_derate);
+  Prediction p = predict_impl(mach, RunConfig::full_system(mach), in,
+                              OptLevel::kCacheBlocked, /*prefetched=*/true,
+                              /*compressed_indices=*/false, hw_prefetch);
+  const double degrade =
+      (1.0 - comm_fraction) / std::max(1.0, in.equal_rows_imbalance);
+  p.gflops *= degrade;
+  p.sustained_gbps *= degrade;
+  return p;
+}
+
+}  // namespace spmv::model

@@ -1,0 +1,86 @@
+// Cross-architecture SpMV performance predictor.
+//
+// Combines the Table 1 machine descriptors, the §5.1 traffic model, and the
+// §6.1 kernel-overhead analysis into a roofline-style bound:
+//
+//   time = max( traffic / sustained_bw(config),
+//               kernel_cycles / (clock × cores) )
+//
+// where kernel_cycles charges issue-limited cycles per nonzero, loop
+// startup per encountered row segment, and (for in-order CMT cores) the
+// exposed memory latency divided across a core's active threads.  Matrix
+// footprints come from the *real* tuner (choose_encoding) run with the
+// target machine's cache parameters, so the data-structure side of the
+// prediction is not modeled but computed.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+#include "matrix/matrix_stats.h"
+#include "model/machine.h"
+#include "model/traffic.h"
+
+namespace spmv::model {
+
+/// Cumulative optimization rungs of the Figure 1 ladders.
+enum class OptLevel {
+  kNaive,           ///< 1×1 CSR, 32-bit indices, no prefetch
+  kPrefetch,        ///< + tuned software prefetch (PF)
+  kRegisterBlocked, ///< + register blocking, BCOO, index compression (RB)
+  kCacheBlocked,    ///< + sparse cache / TLB blocking (CB)
+};
+
+const char* to_string(OptLevel level);
+
+/// Machine-specific matrix analysis feeding the predictor.
+struct MatrixModelInput {
+  MatrixStats stats;
+  /// Plain CSR footprint (12 B/nonzero + 4 B/row pointer).
+  std::uint64_t csr_bytes = 0;
+  /// Footprint after the one-pass tuner with this machine's cache blocking
+  /// (and the same without cache blocking), computed by the real tuner.
+  std::uint64_t rb_bytes = 0;
+  std::uint64_t rb_cb_bytes = 0;
+  /// nnz-weighted mean register-tile height the tuner chose.
+  double mean_tile_rows = 1.0;
+  /// Mean nonzeros per (row, cache-block) pair at this machine's block
+  /// width — §5.1's loop-overhead statistic.
+  double nnz_per_row_per_block = 1.0;
+  /// Mean nonzeros per non-empty row (un-blocked loop length).
+  double nnz_per_row_full = 1.0;
+  /// Equal-rows partition imbalance at the machine's core count (for the
+  /// OSKI-PETSc model).
+  double equal_rows_imbalance = 1.0;
+};
+
+/// Run the real tuning heuristics against `m` with `mach`'s cache geometry.
+MatrixModelInput analyze_matrix(const CsrMatrix& m, const Machine& mach);
+
+struct Prediction {
+  double gflops = 0.0;
+  double sustained_gbps = 0.0;   ///< bandwidth the prediction implies
+  double flop_byte = 0.0;
+  double time_bw_s = 0.0;
+  double time_compute_s = 0.0;
+  [[nodiscard]] bool bandwidth_bound() const {
+    return time_bw_s >= time_compute_s;
+  }
+};
+
+/// Predict effective SpMV Gflop/s (2·nnz / time, the paper's metric).
+Prediction predict(const Machine& mach, const RunConfig& cfg,
+                   const MatrixModelInput& in, OptLevel level);
+
+/// Serial OSKI: register blocking with 32-bit indices and cache blocking,
+/// no explicit prefetch (OSKI leaves scheduling to the compiler).
+Prediction predict_oski(const Machine& mach, const MatrixModelInput& in);
+
+/// Parallel OSKI-PETSc: OSKI ranks over MPI(shmem) with equal-rows
+/// distribution; communication fraction and load imbalance degrade the
+/// parallel bound (§6.2: comm averages ~30% of runtime; FEM/Accelerator
+/// puts 40% of nonzeros on one of four ranks).
+Prediction predict_oski_petsc(const Machine& mach, const MatrixModelInput& in,
+                              double comm_fraction = 0.30);
+
+}  // namespace spmv::model

@@ -1,0 +1,19 @@
+// Power-efficiency comparison (paper Figure 2b): full-system Mflop/s per
+// full-system Watt.
+#pragma once
+
+#include "model/machine.h"
+
+namespace spmv::model {
+
+/// Mflop/s-per-Watt given a full-system performance in Gflop/s.
+inline double mflops_per_watt(const Machine& m, double system_gflops) {
+  return system_gflops * 1000.0 / m.watts_system;
+}
+
+/// Same, against socket power only (the paper reports both in Table 1).
+inline double mflops_per_socket_watt(const Machine& m, double system_gflops) {
+  return system_gflops * 1000.0 / m.watts_sockets;
+}
+
+}  // namespace spmv::model

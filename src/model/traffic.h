@@ -1,0 +1,55 @@
+// Memory-traffic model for SpMV (paper §5.1).
+//
+// The paper predicts per-matrix performance from the bytes a single
+// y ← y + Ax sweep must move:
+//   * the encoded matrix itself (touched exactly once — the term data
+//     structure optimization shrinks);
+//   * the source vector: 8·cols compulsory if its live working set fits in
+//     cache, or line-granular misses per access if it does not (which is
+//     what cache blocking repairs);
+//   * the destination vector: 8 bytes read + 8 written per row, with a
+//     write-allocate line fill making it 16 bytes of traffic per element
+//     (the §5.1 Epidemiology arithmetic).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix_stats.h"
+
+namespace spmv::model {
+
+struct TrafficInput {
+  MatrixStats stats;
+  /// Encoded matrix bytes (values + indices + row pointers) for the
+  /// optimization level being modeled.
+  std::uint64_t matrix_bytes = 0;
+  /// Cache capacity available to the vectors, bytes.
+  double cache_bytes = 1 << 20;
+  double line_bytes = 64;
+  /// Whether the implementation cache-blocks the source vector.
+  bool cache_blocked = false;
+};
+
+struct TrafficEstimate {
+  double matrix_bytes = 0;
+  double x_bytes = 0;
+  double y_bytes = 0;
+  double flops = 0;
+
+  [[nodiscard]] double total_bytes() const {
+    return matrix_bytes + x_bytes + y_bytes;
+  }
+  [[nodiscard]] double flop_byte_ratio() const {
+    const double b = total_bytes();
+    return b == 0.0 ? 0.0 : flops / b;
+  }
+};
+
+TrafficEstimate estimate_traffic(const TrafficInput& in);
+
+/// The §5.1 source-vector working set: how many bytes of x are "live" at
+/// once given the matrix's diagonal spread.  Near-diagonal matrices stream
+/// a narrow window; scattered matrices need the whole vector.
+double x_working_set_bytes(const MatrixStats& stats);
+
+}  // namespace spmv::model

@@ -1,0 +1,39 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include <spmv.h>
+//
+// Matrix substrate:   spmv::CooBuilder, spmv::CsrMatrix, Matrix Market I/O,
+//                     structure statistics, DIA formats, RCM reordering.
+// Tuned SpMV:         spmv::TuningOptions, spmv::TunedMatrix (plan/multiply).
+// Parallel variants:  spmv::SegmentedScanSpmv, spmv::ColumnPartitionedSpmv,
+//                     spmv::SymmetricSpmv, spmv::MultiVectorSpmv,
+//                     spmv::LocalStoreSpmv.
+// Baselines:          spmv::baseline::OskiLikeMatrix,
+//                     spmv::baseline::PetscLikeSpmv.
+// Machine model:      spmv::model::Machine, predict(), power efficiency.
+#pragma once
+
+#include "baseline/oski_like.h"
+#include "baseline/petsc_like.h"
+#include "core/column_partition.h"
+#include "core/kernels_csr.h"
+#include "core/local_store.h"
+#include "core/multivector.h"
+#include "core/options.h"
+#include "core/partition.h"
+#include "core/segmented_scan.h"
+#include "core/splitting.h"
+#include "core/symmetric.h"
+#include "core/tuned_matrix.h"
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+#include "matrix/dia.h"
+#include "matrix/matrix_stats.h"
+#include "matrix/mm_io.h"
+#include "matrix/reorder.h"
+#include "model/machine.h"
+#include "model/perf_model.h"
+#include "model/power.h"
+#include "model/traffic.h"

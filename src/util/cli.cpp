@@ -1,0 +1,47 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace spmv {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_.emplace(std::string(arg), "true");
+    } else {
+      kv_.emplace(std::string(arg.substr(0, eq)),
+                  std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace spmv

@@ -1,0 +1,25 @@
+// Minimal --key=value command-line parser shared by benches and examples.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace spmv {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace spmv

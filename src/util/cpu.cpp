@@ -1,0 +1,109 @@
+#include "util/cpu.h"
+
+#include <fstream>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace spmv {
+
+namespace {
+
+std::size_t read_size_file(const char* path, std::size_t fallback) {
+  std::ifstream in(path);
+  if (!in) return fallback;
+  std::string token;
+  in >> token;
+  if (token.empty()) return fallback;
+  std::size_t mult = 1;
+  if (token.back() == 'K') {
+    mult = 1024;
+    token.pop_back();
+  } else if (token.back() == 'M') {
+    mult = 1024 * 1024;
+    token.pop_back();
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(token)) * mult;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+HostInfo probe() {
+  HostInfo info;
+  info.logical_cpus = std::max(1u, std::thread::hardware_concurrency());
+#if defined(__x86_64__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    info.has_avx2 = (ebx & (1u << 5)) != 0;
+    info.has_avx512f = (ebx & (1u << 16)) != 0;
+  }
+  char brand[49] = {};
+  unsigned* words = reinterpret_cast<unsigned*>(brand);
+  for (unsigned leaf = 0; leaf < 3; ++leaf) {
+    if (__get_cpuid(0x80000002u + leaf, &eax, &ebx, &ecx, &edx)) {
+      words[leaf * 4 + 0] = eax;
+      words[leaf * 4 + 1] = ebx;
+      words[leaf * 4 + 2] = ecx;
+      words[leaf * 4 + 3] = edx;
+    }
+  }
+  info.vendor = brand;
+#endif
+#if defined(__linux__)
+  info.cache_line_bytes = read_size_file(
+      "/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size", 64);
+  info.l1d_bytes = read_size_file(
+      "/sys/devices/system/cpu/cpu0/cache/index0/size", 32 * 1024);
+  info.l2_bytes = read_size_file(
+      "/sys/devices/system/cpu/cpu0/cache/index2/size", 1024 * 1024);
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page > 0) info.page_bytes = static_cast<std::size_t>(page);
+#endif
+  return info;
+}
+
+#if defined(__linux__)
+bool pin_native(pthread_t handle, unsigned logical_cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(logical_cpu % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+#endif
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = probe();
+  return info;
+}
+
+bool pin_current_thread(unsigned logical_cpu) {
+#if defined(__linux__)
+  return pin_native(pthread_self(), logical_cpu);
+#else
+  (void)logical_cpu;
+  return false;
+#endif
+}
+
+bool pin_thread(std::thread& t, unsigned logical_cpu) {
+#if defined(__linux__)
+  return pin_native(t.native_handle(), logical_cpu);
+#else
+  (void)t;
+  (void)logical_cpu;
+  return false;
+#endif
+}
+
+}  // namespace spmv

@@ -1,0 +1,36 @@
+// Host CPU probing and thread-affinity control.
+//
+// The paper pins threads to cores ("process affinity", Table 2) with
+// numactl / Linux scheduling; we expose the same capability through
+// pthread_setaffinity_np.  Everything degrades gracefully on hosts where
+// affinity syscalls are unavailable.
+#pragma once
+
+#include <string>
+#include <thread>
+
+namespace spmv {
+
+/// What the host machine looks like, as far as SpMV tuning cares.
+struct HostInfo {
+  unsigned logical_cpus = 1;   ///< std::thread::hardware_concurrency
+  bool has_avx2 = false;
+  bool has_avx512f = false;
+  std::size_t cache_line_bytes = 64;
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t page_bytes = 4096;
+  std::string vendor;          ///< best-effort CPU brand string
+};
+
+/// Probe the host once; cached after the first call.
+const HostInfo& host_info();
+
+/// Pin the calling thread to a single logical CPU.  Returns false if the
+/// platform refuses (non-fatal: the pool keeps running unpinned).
+bool pin_current_thread(unsigned logical_cpu);
+
+/// Pin an arbitrary std::thread.  Returns false on failure.
+bool pin_thread(std::thread& t, unsigned logical_cpu);
+
+}  // namespace spmv

@@ -1,0 +1,34 @@
+// Small descriptive-statistics helpers used by the tuner heuristics and the
+// benchmark harness (the paper reports medians across the matrix suite).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spmv {
+
+/// Median of a sample (average of the two middle elements for even sizes).
+/// Returns 0 for an empty sample.
+double median(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+
+double max_of(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean; all samples must be positive.
+double geomean(std::span<const double> xs);
+
+/// Histogram with `bins` equal-width buckets over [lo, hi].
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace spmv

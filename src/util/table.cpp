@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace spmv {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::fmt_opt(double v, int prec) {
+  if (!std::isfinite(v) || v < 0.0) return "-";
+  return fmt(v, prec);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      emit_cell(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace spmv

@@ -1,0 +1,46 @@
+// ASCII table / CSV emitter for the benchmark harness.
+//
+// Every bench binary regenerates one paper table or figure; this class
+// renders the rows in a fixed-width layout comparable to the paper and can
+// also dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spmv {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` digits after the point;
+  /// negative values of `v` that mean "not applicable" can be passed through
+  /// fmt_opt instead.
+  static std::string fmt(double v, int prec = 2);
+
+  /// "-" when not finite or negative (used for N/A cells), else fmt().
+  static std::string fmt_opt(double v, int prec = 2);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-ish: cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const {
+    return rows_[r][c];
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spmv

@@ -1,0 +1,25 @@
+#include "util/timer.h"
+
+#include <limits>
+
+namespace spmv {
+
+TimingResult time_kernel(const std::function<void()>& fn, double min_seconds,
+                         int min_reps) {
+  TimingResult result;
+  result.best_s = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  Timer budget;
+  while (result.reps < min_reps || budget.seconds() < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    total += s;
+    if (s < result.best_s) result.best_s = s;
+    ++result.reps;
+  }
+  result.mean_s = total / result.reps;
+  return result;
+}
+
+}  // namespace spmv

@@ -1,0 +1,41 @@
+// Wall-clock timing helpers for kernel benchmarking.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace spmv {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Result of a timed measurement: best and mean seconds per repetition.
+struct TimingResult {
+  double best_s = 0.0;
+  double mean_s = 0.0;
+  int reps = 0;
+};
+
+/// Run `fn` repeatedly until at least `min_seconds` have elapsed (and at
+/// least `min_reps` times), returning best/mean per-call time.  SpMV runs in
+/// microseconds-to-milliseconds; repeating amortizes timer overhead and
+/// warms caches the same way the paper's harness does.
+TimingResult time_kernel(const std::function<void()>& fn,
+                         double min_seconds = 0.05, int min_reps = 3);
+
+}  // namespace spmv

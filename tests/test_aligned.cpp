@@ -1,0 +1,106 @@
+// Unit tests for AlignedBuffer: alignment, ownership semantics, copies.
+#include "util/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace spmv {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesRequestedCount) {
+  AlignedBuffer<double> b(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_NE(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, CacheLineAlignedByDefault) {
+  for (std::size_t n : {1, 3, 17, 1000, 4097}) {
+    AlignedBuffer<double> b(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(AlignedBuffer, PageAlignmentHonored) {
+  AlignedBuffer<std::uint16_t> b(100, kPageBytes);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kPageBytes, 0u);
+}
+
+TEST(AlignedBuffer, ZeroFill) {
+  AlignedBuffer<double> b(64);
+  b.fill(3.5);
+  b.zero();
+  for (double v : b) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, Fill) {
+  AlignedBuffer<int> b(10);
+  b.fill(7);
+  for (int v : b) EXPECT_EQ(v, 7);
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<double> a(8);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  AlignedBuffer<double> b(a);
+  ASSERT_EQ(b.size(), 8u);
+  ASSERT_NE(a.data(), b.data());
+  b[0] = 99.0;
+  EXPECT_EQ(a[0], 0.0);
+  EXPECT_EQ(b[7], 7.0);
+}
+
+TEST(AlignedBuffer, CopyAssign) {
+  AlignedBuffer<double> a(4);
+  a.fill(2.0);
+  AlignedBuffer<double> b(17);
+  b = a;
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 2.0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(16);
+  a.fill(1.0);
+  const double* p = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<double> a(16);
+  AlignedBuffer<double> b(4);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 16u);
+}
+
+TEST(AlignedBuffer, SpanCoversBuffer) {
+  AlignedBuffer<double> a(5);
+  a.fill(1.5);
+  auto s = a.span();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[4], 1.5);
+}
+
+TEST(AlignedBuffer, SelfAssignSafe) {
+  AlignedBuffer<double> a(8);
+  a.fill(4.0);
+  AlignedBuffer<double>& alias = a;
+  a = alias;
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[5], 4.0);
+}
+
+}  // namespace
+}  // namespace spmv

@@ -1,0 +1,204 @@
+// Invariant tests for the sparse cache-blocking / TLB-blocking heuristic:
+// extents must exactly tile the row range × column space, and each block
+// must respect the touched-line and unique-page budgets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cache_block.h"
+#include "gen/generators.h"
+#include "matrix/coo.h"
+
+namespace spmv {
+namespace {
+
+// Verify that `extents` exactly cover [row0, row1) x [0, cols).
+void expect_exact_cover(const std::vector<BlockExtent>& extents,
+                        std::uint32_t row0, std::uint32_t row1,
+                        std::uint32_t cols) {
+  ASSERT_FALSE(extents.empty());
+  std::uint32_t cur_row = row0;
+  std::size_t i = 0;
+  while (i < extents.size()) {
+    // A band: consecutive extents with the same row range, columns tiling
+    // [0, cols).
+    const std::uint32_t band_r0 = extents[i].row0;
+    const std::uint32_t band_r1 = extents[i].row1;
+    EXPECT_EQ(band_r0, cur_row);
+    std::uint32_t cur_col = 0;
+    while (i < extents.size() && extents[i].row0 == band_r0) {
+      EXPECT_EQ(extents[i].row1, band_r1);
+      EXPECT_EQ(extents[i].col0, cur_col);
+      EXPECT_GT(extents[i].col1, extents[i].col0);
+      cur_col = extents[i].col1;
+      ++i;
+    }
+    EXPECT_EQ(cur_col, cols);
+    cur_row = band_r1;
+  }
+  EXPECT_EQ(cur_row, row1);
+}
+
+std::size_t touched_lines(const CsrMatrix& m, const BlockExtent& e,
+                          std::size_t elems_per_line) {
+  std::set<std::uint32_t> lines;
+  const auto rp = m.row_ptr();
+  const auto ci = m.col_idx();
+  for (std::uint32_t r = e.row0; r < e.row1; ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] >= e.col0 && ci[k] < e.col1) {
+        lines.insert(ci[k] / static_cast<std::uint32_t>(elems_per_line));
+      }
+    }
+  }
+  return lines.size();
+}
+
+std::size_t touched_pages(const CsrMatrix& m, const BlockExtent& e,
+                          std::size_t elems_per_page) {
+  std::set<std::uint32_t> pages;
+  const auto rp = m.row_ptr();
+  const auto ci = m.col_idx();
+  for (std::uint32_t r = e.row0; r < e.row1; ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] >= e.col0 && ci[k] < e.col1) {
+        pages.insert(ci[k] / static_cast<std::uint32_t>(elems_per_page));
+      }
+    }
+  }
+  return pages.size();
+}
+
+CacheBlockParams tiny_cache() {
+  CacheBlockParams p;
+  p.cache_blocking = true;
+  p.tlb_blocking = false;
+  p.cache_bytes = 16 * 1024;  // force many blocks
+  p.line_bytes = 64;
+  p.page_bytes = 4096;
+  return p;
+}
+
+TEST(CacheBlock, DisabledYieldsSingleExtent) {
+  const CsrMatrix m = gen::uniform_random(500, 500, 8.0, 1);
+  CacheBlockParams p;
+  p.cache_blocking = false;
+  p.tlb_blocking = false;
+  const auto extents = plan_cache_blocks(m, 0, 500, p);
+  ASSERT_EQ(extents.size(), 1u);
+  expect_exact_cover(extents, 0, 500, 500);
+}
+
+TEST(CacheBlock, ExactCoverUniform) {
+  const CsrMatrix m = gen::uniform_random(3000, 3000, 10.0, 2);
+  const auto extents = plan_cache_blocks(m, 0, 3000, tiny_cache());
+  EXPECT_GT(extents.size(), 1u);
+  expect_exact_cover(extents, 0, 3000, 3000);
+}
+
+TEST(CacheBlock, ExactCoverSubRange) {
+  const CsrMatrix m = gen::uniform_random(3000, 2500, 10.0, 3);
+  const auto extents = plan_cache_blocks(m, 700, 2100, tiny_cache());
+  expect_exact_cover(extents, 700, 2100, 2500);
+}
+
+TEST(CacheBlock, SourceLineBudgetRespected) {
+  const CsrMatrix m = gen::uniform_random(3000, 3000, 10.0, 4);
+  const CacheBlockParams p = tiny_cache();
+  const auto extents = plan_cache_blocks(m, 0, 3000, p);
+  const std::size_t budget_lines = p.cache_bytes / p.line_bytes;
+  const auto dest = static_cast<std::size_t>(budget_lines * p.dest_fraction);
+  const std::size_t src_budget = budget_lines - dest;
+  const std::size_t elems_per_line = p.line_bytes / 8;
+  for (const auto& e : extents) {
+    EXPECT_LE(touched_lines(m, e, elems_per_line), src_budget);
+  }
+}
+
+TEST(CacheBlock, SparseMatrixSpansManyMoreColumnsThanDense) {
+  // The "sparse" in sparse cache blocking: blocks of a very sparse band
+  // span wide column ranges because few lines are touched per column.
+  const CsrMatrix sparse = gen::uniform_random(2000, 100000, 2.0, 5);
+  const auto extents = plan_cache_blocks(sparse, 0, 2000, tiny_cache());
+  double mean_span = 0.0;
+  for (const auto& e : extents) mean_span += e.col1 - e.col0;
+  mean_span /= static_cast<double>(extents.size());
+  // A dense-style fixed span at this budget would be ~budget_lines*8 cols;
+  // the sparse heuristic must span far wider.
+  const CacheBlockParams p = tiny_cache();
+  const double dense_span =
+      static_cast<double>(p.cache_bytes / p.line_bytes) * 8.0;
+  EXPECT_GT(mean_span, 2.0 * dense_span);
+}
+
+TEST(CacheBlock, TlbBudgetSplitsPageHungryRows) {
+  CacheBlockParams p;
+  p.cache_blocking = false;
+  p.tlb_blocking = true;
+  p.cache_bytes = 8 * 1024 * 1024;
+  p.tlb_entries = 8;  // tiny TLB to force splitting
+  // Rows touching ~60 distinct pages each (LP-style) must be split.
+  const CsrMatrix m = gen::uniform_random(800, 200000, 60.0, 6);
+  const auto extents = plan_cache_blocks(m, 0, 800, p);
+  EXPECT_GT(extents.size(), 1u);
+  expect_exact_cover(extents, 0, 800, 200000);
+  // Union pages per block stay near the budget (the cut criterion), which
+  // bounds the per-row live page set the TLB actually sees.
+  const std::size_t elems_per_page = p.page_bytes / 8;
+  for (const auto& e : extents) {
+    EXPECT_LE(touched_pages(m, e, elems_per_page), p.tlb_entries);
+  }
+}
+
+TEST(CacheBlock, TlbDoesNotSplitStreamingRows) {
+  // §4.2 is a per-row criterion: a near-diagonal matrix never has more
+  // than a few pages live per row, so TLB blocking must leave it alone
+  // even though the band's page *union* is huge.
+  CacheBlockParams p;
+  p.cache_blocking = false;
+  p.tlb_blocking = true;
+  p.cache_bytes = 64 * 1024 * 1024;
+  p.tlb_entries = 8;
+  const CsrMatrix m = gen::markov2d(300, 300, 9);  // ~90K cols, 4 nnz/row
+  const auto extents = plan_cache_blocks(m, 0, m.rows(), p);
+  EXPECT_EQ(extents.size(), 1u);
+}
+
+TEST(CacheBlock, EmptyRowRangeGivesNoBlocks) {
+  const CsrMatrix m = gen::dense(16);
+  EXPECT_TRUE(plan_cache_blocks(m, 5, 5, tiny_cache()).empty());
+}
+
+TEST(CacheBlock, BandWithNoNonzerosStillCovered) {
+  // Rows 20..40 are empty; their band must still be emitted so the encoded
+  // matrix covers every row.
+  CooBuilder b(60, 1000);
+  for (std::uint32_t r = 0; r < 20; ++r) b.add(r, r * 37 % 1000, 1.0);
+  for (std::uint32_t r = 40; r < 60; ++r) b.add(r, r * 17 % 1000, 1.0);
+  const CsrMatrix m = b.build();
+  CacheBlockParams p = tiny_cache();
+  const auto extents = plan_cache_blocks(m, 0, 60, p);
+  expect_exact_cover(extents, 0, 60, 1000);
+}
+
+TEST(CacheBlock, ValidatesArguments) {
+  const CsrMatrix m = gen::dense(8);
+  EXPECT_THROW(plan_cache_blocks(m, 0, 9, tiny_cache()), std::out_of_range);
+  CacheBlockParams bad = tiny_cache();
+  bad.line_bytes = 4;
+  EXPECT_THROW(plan_cache_blocks(m, 0, 8, bad), std::invalid_argument);
+}
+
+TEST(CacheBlock, EpidemiologyStreamsFewBlocks) {
+  // Near-diagonal matrices touch few distinct lines per band, so even a
+  // small budget yields few column splits.
+  const CsrMatrix m = gen::markov2d(120, 120, 7);
+  const auto extents = plan_cache_blocks(m, 0, m.rows(), tiny_cache());
+  // Mostly one block per band: blocks/bands ratio close to 1.
+  std::set<std::uint32_t> bands;
+  for (const auto& e : extents) bands.insert(e.row0);
+  EXPECT_LE(extents.size(), bands.size() * 2);
+}
+
+}  // namespace
+}  // namespace spmv

@@ -1,0 +1,170 @@
+// Unit tests for the COO builder and the canonical CSR matrix.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "matrix/coo.h"
+#include "matrix/csr.h"
+
+namespace spmv {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(2, 0, 3.0);
+  b.add(2, 1, 4.0);
+  return b.build();
+}
+
+TEST(CooBuilder, RejectsZeroDims) {
+  EXPECT_THROW(CooBuilder(0, 3), std::invalid_argument);
+  EXPECT_THROW(CooBuilder(3, 0), std::invalid_argument);
+}
+
+TEST(CooBuilder, RejectsOutOfRange) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(CooBuilder, BuildsSortedCsr) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+}
+
+TEST(CooBuilder, UnsortedInputIsSorted) {
+  CooBuilder b(2, 4);
+  b.add(1, 3, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 0, 3.0);
+  b.add(0, 0, 4.0);
+  const CsrMatrix m = b.build();
+  const auto ci = m.col_idx();
+  EXPECT_EQ(ci[0], 0u);
+  EXPECT_EQ(ci[1], 2u);
+  EXPECT_EQ(ci[2], 0u);
+  EXPECT_EQ(ci[3], 3u);
+}
+
+TEST(CooBuilder, DuplicatesAreSummed) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.5);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  b.add(1, 1, 1.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);  // kept as explicit zero
+}
+
+TEST(CooBuilder, DropZerosRemovesCancellations) {
+  CooBuilder b(2, 2);
+  b.add(1, 1, -1.0);
+  b.add(1, 1, 1.0);
+  b.add(0, 0, 5.0);
+  const CsrMatrix m = b.build(/*drop_zeros=*/true);
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(CooBuilder, SymmetricAddMirrors) {
+  CooBuilder b(3, 3);
+  b.add_symmetric(0, 2, 7.0);
+  b.add_symmetric(1, 1, 3.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+}
+
+TEST(CsrMatrix, ValidatesRowPtr) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 2, {1, 1}, {}, {}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, ValidatesColumnOrder) {
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, ValidatesColumnRange) {
+  EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {2}, {1.0}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, EmptyRows) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.empty_rows(), 1u);
+  EXPECT_DOUBLE_EQ(m.nnz_per_row(), 4.0 / 3.0);
+}
+
+TEST(CsrMatrix, SliceExtractsSubmatrix) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix s = m.slice(1, 3, 0, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 4.0);
+}
+
+TEST(CsrMatrix, SliceValidatesRange) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_THROW(m.slice(0, 4, 0, 3), std::out_of_range);
+  EXPECT_THROW(m.slice(2, 1, 0, 3), std::out_of_range);
+}
+
+TEST(CsrMatrix, TransposeRoundTrips) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix tt = m.transpose().transpose();
+  EXPECT_TRUE(m.equals(tt));
+}
+
+TEST(CsrMatrix, TransposeValues) {
+  const CsrMatrix t = small_matrix().transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 2.0);
+}
+
+TEST(CsrMatrix, ToDense) {
+  const auto d = small_matrix().to_dense();
+  ASSERT_EQ(d.size(), 9u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_DOUBLE_EQ(d[6], 3.0);
+  EXPECT_DOUBLE_EQ(d[7], 4.0);
+  EXPECT_DOUBLE_EQ(d[4], 0.0);
+}
+
+TEST(SpmvReference, ComputesAccumulate) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {10.0, 20.0, 30.0};
+  spmv_reference(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.0 + 1.0 * 1.0 + 2.0 * 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 20.0);
+  EXPECT_DOUBLE_EQ(y[2], 30.0 + 3.0 * 1.0 + 4.0 * 2.0);
+}
+
+TEST(SpmvReference, RejectsShortVectors) {
+  const CsrMatrix m = small_matrix();
+  std::vector<double> x(2), y(3);
+  EXPECT_THROW(spmv_reference(m, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmv

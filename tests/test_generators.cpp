@@ -1,0 +1,199 @@
+// Tests that each synthetic generator produces the structure class it
+// promises (dimension, nnz/row, symmetry, locality).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/matrix_stats.h"
+
+namespace spmv {
+namespace {
+
+using gen::banded;
+using gen::circuit_like;
+using gen::dense;
+using gen::econ_like;
+using gen::fem_like;
+using gen::lattice4d;
+using gen::lp_constraint;
+using gen::markov2d;
+using gen::power_law;
+using gen::random_symmetric;
+using gen::uniform_random;
+
+bool is_structurally_symmetric(const CsrMatrix& m) {
+  const CsrMatrix t = m.transpose();
+  return m.row_ptr().size() == t.row_ptr().size() &&
+         std::equal(m.col_idx().begin(), m.col_idx().end(),
+                    t.col_idx().begin());
+}
+
+TEST(DenseGen, FullyPopulated) {
+  const CsrMatrix m = dense(64);
+  EXPECT_EQ(m.rows(), 64u);
+  EXPECT_EQ(m.nnz(), 64u * 64u);
+  EXPECT_EQ(m.empty_rows(), 0u);
+}
+
+TEST(DenseGen, RejectsZero) { EXPECT_THROW(dense(0), std::invalid_argument); }
+
+TEST(FemGen, DimensionsAndBlockStructure) {
+  const CsrMatrix m = fem_like(1000, 3, 12.0, 80, 1);
+  EXPECT_EQ(m.rows(), 3000u);
+  const MatrixStats s = compute_stats(m);
+  // nnz/row should be near couplings * dof = 36.
+  EXPECT_NEAR(s.nnz_per_row, 36.0, 4.0);
+  // Dense dof x dof blocks beat random scatter at 2x2 even though dof=3
+  // blocks straddle the aligned 2x2 grid.
+  EXPECT_LT(block_fill_ratio(m, 2, 2), 2.0);
+  EXPECT_EQ(s.empty_rows, 0u);
+}
+
+TEST(FemGen, SymmetricStructure) {
+  const CsrMatrix m = fem_like(300, 3, 8.0, 40, 2);
+  EXPECT_TRUE(is_structurally_symmetric(m));
+}
+
+TEST(FemGen, BandLocality) {
+  const CsrMatrix m = fem_like(2000, 3, 10.0, 50, 3);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_LT(s.diag_spread, 0.05);
+}
+
+TEST(FemGen, RejectsBadParams) {
+  EXPECT_THROW(fem_like(0, 3, 5.0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(fem_like(10, 0, 5.0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(fem_like(10, 3, 0.5, 10, 1), std::invalid_argument);
+}
+
+TEST(Lattice4dGen, QcdShape) {
+  const CsrMatrix m = lattice4d(4, 4, 4, 4, 3, 1);
+  EXPECT_EQ(m.rows(), 256u * 3u);
+  const MatrixStats s = compute_stats(m);
+  // 13 couplings x block 3 = 39 nnz/row, minus double-step collisions on a
+  // tiny L=4 lattice (x+2 == x-2 merges): allow slack below 39.
+  EXPECT_GE(s.nnz_per_row, 32.0);
+  EXPECT_LE(s.nnz_per_row, 39.01);
+  EXPECT_EQ(s.empty_rows, 0u);
+  EXPECT_EQ(s.min_row_nnz, s.max_row_nnz);  // regular stencil
+}
+
+TEST(Lattice4dGen, LargerLatticeHitsExactly39) {
+  const CsrMatrix m = lattice4d(8, 8, 5, 5, 3, 1);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_DOUBLE_EQ(s.nnz_per_row, 39.0);
+}
+
+TEST(Lattice4dGen, RejectsTinyLattice) {
+  EXPECT_THROW(lattice4d(2, 4, 4, 4, 3, 1), std::invalid_argument);
+}
+
+TEST(Markov2dGen, EpidemiologyShape) {
+  const CsrMatrix m = markov2d(50, 50, 1);
+  EXPECT_EQ(m.rows(), 2500u);
+  const MatrixStats s = compute_stats(m);
+  // Interior cells have 4 transitions; boundary fewer.
+  EXPECT_GT(s.nnz_per_row, 3.8);
+  EXPECT_LT(s.nnz_per_row, 4.0);
+  EXPECT_EQ(s.max_row_nnz, 4u);
+  EXPECT_EQ(s.min_row_nnz, 2u);  // corners
+}
+
+TEST(Markov2dGen, RowsAreStochastic) {
+  const CsrMatrix m = markov2d(10, 10, 2);
+  const auto rp = m.row_ptr();
+  const auto v = m.values();
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) sum += v[k];
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PowerLawGen, MeanDegreeAndHeavyTail) {
+  const CsrMatrix m = power_law(20000, 3.1, 5);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_NEAR(s.nnz_per_row, 3.1, 0.5);
+  // Heavy in-degree tail: some column is referenced far above the mean.
+  const CsrMatrix t = m.transpose();
+  const MatrixStats ts = compute_stats(t);
+  EXPECT_GT(static_cast<double>(ts.max_row_nnz), 20.0 * ts.nnz_per_row);
+}
+
+TEST(PowerLawGen, HasUnitDiagonal) {
+  const CsrMatrix m = power_law(100, 2.0, 6);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+  }
+}
+
+TEST(CircuitGen, ShapeAndHubs) {
+  const CsrMatrix m = circuit_like(20000, 5.6, 10, 3);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_NEAR(s.nnz_per_row, 5.6, 1.0);
+  // Hub rows are much denser than the mean.
+  EXPECT_GT(static_cast<double>(s.max_row_nnz), 10.0 * s.nnz_per_row);
+}
+
+TEST(EconGen, ShapeNoBlockStructure) {
+  const CsrMatrix m = econ_like(20000, 6.1, 4);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_NEAR(s.nnz_per_row, 6.1, 0.7);
+  // No dense tile substructure: 2x2 fill should be poor (close to the
+  // worst case where most tiles hold a single nonzero).
+  EXPECT_GT(block_fill_ratio(m, 2, 2), 2.0);
+}
+
+TEST(RandomSymmetricGen, SymmetricScatter) {
+  const CsrMatrix m = random_symmetric(5000, 21.7, 8);
+  EXPECT_TRUE(is_structurally_symmetric(m));
+  const MatrixStats s = compute_stats(m);
+  EXPECT_NEAR(s.nnz_per_row, 21.7, 2.5);
+}
+
+TEST(LpGen, AspectRatioAndColumnCounts) {
+  const CsrMatrix m = lp_constraint(430, 110000, 10.3, 9);
+  EXPECT_EQ(m.rows(), 430u);
+  EXPECT_EQ(m.cols(), 110000u);
+  const MatrixStats s = compute_stats(m);
+  // nnz = cols * ones_per_col spread over few rows -> thousands per row.
+  EXPECT_GT(s.nnz_per_row, 2000.0);
+  // All values are 1 (set-cover constraints).
+  for (double v : m.values()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(UniformRandomGen, MeanDegree) {
+  const CsrMatrix m = uniform_random(5000, 5000, 7.5, 10);
+  EXPECT_NEAR(compute_stats(m).nnz_per_row, 7.5, 0.5);
+}
+
+TEST(UniformRandomGen, RectangularSupported) {
+  const CsrMatrix m = uniform_random(100, 10, 3.0, 11);
+  EXPECT_EQ(m.rows(), 100u);
+  EXPECT_EQ(m.cols(), 10u);
+}
+
+TEST(BandedGen, RespectsBandwidth) {
+  const CsrMatrix m = banded(200, 3, 0.5, 12);
+  const auto rp = m.row_ptr();
+  const auto ci = m.col_idx();
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    for (std::uint64_t k = rp[r]; k < rp[r + 1]; ++k) {
+      EXPECT_LE(static_cast<std::int64_t>(ci[k]) - static_cast<std::int64_t>(r),
+                3);
+      EXPECT_LE(static_cast<std::int64_t>(r) - static_cast<std::int64_t>(ci[k]),
+                3);
+    }
+  }
+  EXPECT_EQ(m.empty_rows(), 0u);  // diagonal always present
+}
+
+TEST(Generators, Deterministic) {
+  const CsrMatrix a = fem_like(100, 3, 6.0, 20, 77);
+  const CsrMatrix b = fem_like(100, 3, 6.0, 20, 77);
+  EXPECT_TRUE(a.equals(b));
+  const CsrMatrix c = fem_like(100, 3, 6.0, 20, 78);
+  EXPECT_FALSE(a.equals(c));
+}
+
+}  // namespace
+}  // namespace spmv

@@ -1,0 +1,127 @@
+// Unit tests for structural statistics: block fill ratios, stripe
+// statistics, density grids — the §5.1 quantities.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/matrix_stats.h"
+
+namespace spmv {
+namespace {
+
+TEST(MatrixStats, BasicCounts) {
+  const CsrMatrix m = gen::banded(100, 1, 1.0, 1);  // full tridiagonal
+  const MatrixStats s = compute_stats(m);
+  EXPECT_EQ(s.rows, 100u);
+  EXPECT_EQ(s.nnz, 298u);
+  EXPECT_EQ(s.empty_rows, 0u);
+  EXPECT_EQ(s.min_row_nnz, 2u);
+  EXPECT_EQ(s.max_row_nnz, 3u);
+}
+
+TEST(MatrixStats, DiagSpreadNearZeroForTridiagonal) {
+  const CsrMatrix m = gen::banded(2000, 1, 1.0, 1);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_LT(s.diag_spread, 0.01);
+  EXPECT_GT(s.near_diag_fraction, 0.99);
+}
+
+TEST(MatrixStats, DiagSpreadLargeForUniform) {
+  const CsrMatrix m = gen::uniform_random(800, 800, 8.0, 42);
+  const MatrixStats s = compute_stats(m);
+  // Uniform scatter: E|c - diag| ~ cols/3.
+  EXPECT_GT(s.diag_spread, 0.2);
+  EXPECT_LT(s.near_diag_fraction, 0.1);
+}
+
+TEST(CountBlocks, DenseMatrixTileArithmetic) {
+  const CsrMatrix m = gen::dense(16);
+  EXPECT_EQ(count_blocks(m, 1, 1), 256u);
+  EXPECT_EQ(count_blocks(m, 2, 2), 64u);
+  EXPECT_EQ(count_blocks(m, 4, 4), 16u);
+  EXPECT_EQ(count_blocks(m, 4, 1), 64u);
+  EXPECT_EQ(count_blocks(m, 1, 4), 64u);
+}
+
+TEST(CountBlocks, RejectsBadTiles) {
+  const CsrMatrix m = gen::dense(4);
+  EXPECT_THROW(count_blocks(m, 0, 1), std::invalid_argument);
+  EXPECT_THROW(count_blocks(m, 9, 1), std::invalid_argument);
+}
+
+TEST(BlockFillRatio, DenseIsOne) {
+  const CsrMatrix m = gen::dense(32);
+  EXPECT_DOUBLE_EQ(block_fill_ratio(m, 4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(block_fill_ratio(m, 2, 2), 1.0);
+}
+
+TEST(BlockFillRatio, DiagonalMatrixFillsPoorly) {
+  CooBuilder b(64, 64);
+  for (std::uint32_t i = 0; i < 64; ++i) b.add(i, i, 1.0);
+  const CsrMatrix m = b.build();
+  // Each 4x4 diagonal tile holds 4 of 16 slots -> fill 4.
+  EXPECT_DOUBLE_EQ(block_fill_ratio(m, 4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(block_fill_ratio(m, 1, 1), 1.0);
+}
+
+TEST(BlockFillRatio, FemMatrixHasBlockStructure) {
+  const CsrMatrix m = gen::fem_like(500, 3, 10.0, 60, 7);
+  // dof=3 gives natural (near) 2x2 fill much better than a random matrix.
+  const double fem_fill = block_fill_ratio(m, 2, 2);
+  const CsrMatrix r = gen::uniform_random(1500, 1500, 30.0, 7);
+  const double rand_fill = block_fill_ratio(r, 2, 2);
+  EXPECT_LT(fem_fill, rand_fill);
+  EXPECT_LT(fem_fill, 1.8);
+}
+
+TEST(NnzPerRowPerStripe, WholeMatrixStripeEqualsRowMean) {
+  const CsrMatrix m = gen::dense(32);
+  EXPECT_DOUBLE_EQ(nnz_per_row_per_stripe(m, 32), 32.0);
+}
+
+TEST(NnzPerRowPerStripe, NarrowStripesShrinkTheStat) {
+  const CsrMatrix m = gen::dense(32);
+  EXPECT_DOUBLE_EQ(nnz_per_row_per_stripe(m, 8), 8.0);
+}
+
+TEST(NnzPerRowPerStripe, ScatteredMatrixApproachesOne) {
+  // FEM/Accelerator effect (§5.1): random scatter + narrow stripes ->
+  // very few nonzeros per row per cache block.
+  const CsrMatrix m = gen::uniform_random(4000, 4000, 20.0, 13);
+  const double wide = nnz_per_row_per_stripe(m, 4000);
+  const double narrow = nnz_per_row_per_stripe(m, 64);
+  EXPECT_GT(wide, 15.0);
+  EXPECT_LT(narrow, 2.0);
+}
+
+TEST(DensityGrid, CountsAllNonzeros) {
+  const CsrMatrix m = gen::uniform_random(100, 100, 6.0, 3);
+  const auto grid = density_grid(m, 4, 4);
+  std::uint64_t total = 0;
+  for (auto c : grid) total += c;
+  EXPECT_EQ(total, m.nnz());
+}
+
+TEST(DensityGrid, DiagonalConcentration) {
+  const CsrMatrix m = gen::banded(400, 2, 1.0, 9);
+  const auto grid = density_grid(m, 4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i == j) {
+        EXPECT_GT(grid[i * 4 + j], 0u);
+      } else if (i > j + 1 || j > i + 1) {
+        EXPECT_EQ(grid[i * 4 + j], 0u);
+      }
+    }
+  }
+}
+
+TEST(Spyplot, RendersGridLines) {
+  const CsrMatrix m = gen::dense(16);
+  const std::string art = render_spyplot(m, 8);
+  EXPECT_EQ(art.size(), 8u * 9u);  // 8 rows of 8 glyphs + newline
+  EXPECT_EQ(art[0], '@');          // uniformly dense = darkest glyph
+}
+
+}  // namespace
+}  // namespace spmv

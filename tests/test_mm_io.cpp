@@ -1,0 +1,177 @@
+// Unit tests for Matrix Market parsing/writing, including malformed-input
+// failure injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.h"
+#include "matrix/coo.h"
+#include "matrix/mm_io.h"
+
+namespace spmv {
+namespace {
+
+CsrMatrix parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 1 1.5\n"
+      "3 2 -2.0\n");
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), -2.0);
+}
+
+TEST(MatrixMarket, ParsesSymmetric) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");
+  EXPECT_EQ(m.nnz(), 3u);  // mirror added, diagonal not duplicated
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, ParsesSkewSymmetric) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, ParsesInteger) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 7\n");
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(MatrixMarket, CaseInsensitiveHeader) {
+  const CsrMatrix m = parse(
+      "%%MatrixMarket MATRIX Coordinate Real GENERAL\n"
+      "1 1 1\n"
+      "1 1 2.0\n");
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  EXPECT_THROW(parse("nonsense\n1 1 1\n1 1 1.0\n"), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n2 2\n1\n"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate complex general\n"
+            "1 1 1\n1 1 1.0 0.0\n"),
+      std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 1.0\n"),
+      std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeCoordinate) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "3 1 1.0\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "0 1 1.0\n"),
+      std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingValue) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1\n"),
+      std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsZeroDimensions) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n0 2 0\n"),
+      std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "9 9 1.0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix m = gen::uniform_random(40, 30, 5.0, 99);
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  std::istringstream in(out.str());
+  const CsrMatrix back = read_matrix_market(in);
+  EXPECT_TRUE(m.equals(back));
+}
+
+TEST(MatrixMarket, RoundTripPreservesPreciseValues) {
+  CooBuilder b(1, 2);
+  b.add(0, 0, 1.0 / 3.0);
+  b.add(0, 1, 1e-300);
+  const CsrMatrix m = b.build();
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  std::istringstream in(out.str());
+  const CsrMatrix back = read_matrix_market(in);
+  EXPECT_TRUE(m.equals(back));
+}
+
+TEST(MatrixMarket, FileHelpersWork) {
+  const CsrMatrix m = gen::banded(20, 2, 0.8, 5);
+  const std::string path = testing::TempDir() + "/spmv_roundtrip.mtx";
+  write_matrix_market_file(path, m);
+  const CsrMatrix back = read_matrix_market_file(path);
+  EXPECT_TRUE(m.equals(back));
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spmv

@@ -1,0 +1,289 @@
+// Tests for the machine descriptors and performance model: Table 1 data,
+// Table 4 sustained-bandwidth reproduction, §5.1 traffic arithmetic, and
+// the paper's qualitative cross-architecture orderings.
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "matrix/matrix_stats.h"
+#include "model/machine.h"
+#include "model/perf_model.h"
+#include "model/power.h"
+#include "model/traffic.h"
+
+namespace spmv::model {
+namespace {
+
+TEST(Machines, TableOneData) {
+  const Machine amd = amd_x2();
+  EXPECT_EQ(amd.total_cores(), 4u);
+  EXPECT_NEAR(amd.peak_gflops_system(), 17.6, 0.1);
+  EXPECT_NEAR(amd.peak_dram_gbps_system(), 21.3, 0.2);
+
+  const Machine clv = clovertown();
+  EXPECT_EQ(clv.total_cores(), 8u);
+  EXPECT_NEAR(clv.peak_gflops_system(), 74.7, 0.3);
+
+  const Machine nia = niagara();
+  EXPECT_EQ(nia.total_cores(), 8u);
+  EXPECT_EQ(nia.threads_per_core, 4u);
+  EXPECT_NEAR(nia.peak_gflops_system(), 8.0, 0.1);
+
+  const Machine ps3 = cell_ps3();
+  EXPECT_EQ(ps3.total_cores(), 6u);
+  EXPECT_NEAR(ps3.peak_gflops_system(), 11.0, 0.2);
+
+  const Machine blade = cell_blade();
+  EXPECT_EQ(blade.total_cores(), 16u);
+  EXPECT_NEAR(blade.peak_gflops_system(), 29.3, 0.3);
+  EXPECT_NEAR(blade.peak_dram_gbps_system(), 51.2, 0.2);
+}
+
+TEST(Machines, RegistryAndLookup) {
+  EXPECT_EQ(all_machines().size(), 5u);
+  EXPECT_EQ(machine_by_name("Niagara").clock_ghz, 1.0);
+  EXPECT_THROW(machine_by_name("VAX"), std::out_of_range);
+}
+
+// Table 4 sustained bandwidth, reproduced by the latency-concurrency model.
+TEST(SustainedBandwidth, Table4AmdX2) {
+  const Machine m = amd_x2();
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::one_core()), 5.4, 0.3);
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::full_socket(m)), 6.61,
+              0.4);
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::full_system(m)), 12.55,
+              0.7);
+}
+
+TEST(SustainedBandwidth, Table4Clovertown) {
+  const Machine m = clovertown();
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::one_core()), 3.62, 0.2);
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::full_socket(m)), 6.56,
+              0.4);
+  // The headline anomaly: adding the second socket barely helps.
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::full_system(m)), 8.86,
+              0.5);
+}
+
+TEST(SustainedBandwidth, Table4Niagara) {
+  const Machine m = niagara();
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, {1, 1, 1}), 0.26, 0.03);
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, {1, 8, 1}), 2.06, 0.15);
+  EXPECT_NEAR(sustained_bandwidth_gbps(m, RunConfig::full_system(m)), 5.02,
+              0.3);
+}
+
+TEST(SustainedBandwidth, Table4Cell) {
+  const Machine ps3 = cell_ps3();
+  EXPECT_NEAR(sustained_bandwidth_gbps(ps3, {1, 1, 1}), 3.25, 0.2);
+  EXPECT_NEAR(sustained_bandwidth_gbps(ps3, RunConfig::full_system(ps3)),
+              18.35, 1.5);
+  const Machine blade = cell_blade();
+  EXPECT_NEAR(sustained_bandwidth_gbps(blade, RunConfig::full_socket(blade)),
+              23.2, 1.0);
+  EXPECT_NEAR(sustained_bandwidth_gbps(blade, RunConfig::full_system(blade)),
+              31.5, 1.5);
+}
+
+TEST(SustainedBandwidth, CellSocketEfficiencyBeatsCacheMachines) {
+  // §6.1: only Cell approaches its socket bandwidth (91%); x86 machines
+  // sustain ~62%.
+  const Machine blade = cell_blade();
+  const double cell_frac =
+      sustained_bandwidth_gbps(blade, RunConfig::full_socket(blade)) /
+      blade.dram_gbps_per_socket;
+  const Machine amd = amd_x2();
+  const double amd_frac =
+      sustained_bandwidth_gbps(amd, RunConfig::full_socket(amd)) /
+      amd.dram_gbps_per_socket;
+  EXPECT_GT(cell_frac, 0.85);
+  EXPECT_LT(amd_frac, 0.70);
+}
+
+TEST(Traffic, EpidemiologyFlopByteArithmetic) {
+  // §5.1: "the Epidemiology matrix has a flop:byte ratio of about
+  // 2*2.1M/(12*2.1M + 8*526K + 16*526K) or 0.11."
+  MatrixStats s;
+  s.rows = 526000;
+  s.cols = 526000;
+  s.nnz = 2100000;
+  s.diag_spread = 0.5;  // force the not-fitting path off; see below
+  TrafficInput in;
+  in.stats = s;
+  in.matrix_bytes = 12ull * s.nnz;  // the paper counts 12 B/nnz here
+  in.cache_bytes = 8.0 * 1024 * 1024;
+  in.cache_blocked = true;  // reproduces the compulsory-only x term
+  const TrafficEstimate t = estimate_traffic(in);
+  EXPECT_NEAR(t.flop_byte_ratio(), 0.11, 0.015);
+}
+
+TEST(Traffic, DenseApproachesQuarterFlopByte) {
+  // §6.1: dense-in-sparse reaches a flop:byte close to the 0.25 bound once
+  // register blocking removes most index storage.
+  MatrixStats s;
+  s.rows = 2000;
+  s.cols = 2000;
+  s.nnz = 4000000;
+  s.diag_spread = 0.33;
+  TrafficInput in;
+  in.stats = s;
+  in.matrix_bytes = static_cast<std::uint64_t>(8.3 * s.nnz);
+  in.cache_bytes = 4.0 * 1024 * 1024;
+  in.cache_blocked = true;
+  const TrafficEstimate t = estimate_traffic(in);
+  EXPECT_GT(t.flop_byte_ratio(), 0.22);
+  EXPECT_LT(t.flop_byte_ratio(), 0.25);
+}
+
+TEST(Traffic, UncachedScatterCostsMore) {
+  MatrixStats s;
+  s.rows = 4000;
+  s.cols = 1100000;
+  s.nnz = 11000000;
+  s.diag_spread = 0.33;  // scattered
+  TrafficInput in;
+  in.stats = s;
+  in.matrix_bytes = 12ull * s.nnz;
+  in.cache_bytes = 2.0 * 1024 * 1024;
+  in.cache_blocked = false;
+  const TrafficEstimate unblocked = estimate_traffic(in);
+  in.cache_blocked = true;
+  const TrafficEstimate blocked = estimate_traffic(in);
+  EXPECT_GT(unblocked.x_bytes, 3.0 * blocked.x_bytes);
+}
+
+TEST(Traffic, WorkingSetTracksDiagSpread) {
+  MatrixStats narrow;
+  narrow.cols = 1000000;
+  narrow.diag_spread = 0.001;
+  MatrixStats wide = narrow;
+  wide.diag_spread = 0.33;
+  EXPECT_LT(x_working_set_bytes(narrow), 0.05 * x_working_set_bytes(wide));
+}
+
+class ModelOnSuite : public testing::Test {
+ protected:
+  static const CsrMatrix& dense_matrix() {
+    static const CsrMatrix m = gen::generate_suite_matrix("Dense", 0.5);
+    return m;
+  }
+};
+
+TEST_F(ModelOnSuite, Table4ComputationalRates) {
+  // Dense matrix, full-socket effective Gflop/s (Table 4 bottom half).
+  struct Case {
+    Machine machine;
+    double paper_gflops;
+    double tol;
+  };
+  const Case cases[] = {
+      {amd_x2(), 1.63, 0.35},
+      {clovertown(), 1.62, 0.35},
+      {cell_blade(), 4.64, 0.9},
+  };
+  for (const Case& c : cases) {
+    const MatrixModelInput in = analyze_matrix(dense_matrix(), c.machine);
+    const Prediction p =
+        predict(c.machine, RunConfig::full_socket(c.machine), in,
+                OptLevel::kCacheBlocked);
+    EXPECT_NEAR(p.gflops, c.paper_gflops, c.tol) << c.machine.name;
+  }
+}
+
+TEST_F(ModelOnSuite, NiagaraSingleThreadIsTerrible) {
+  // Table 4: one Niagara thread sustains 0.065 Gflop/s on the dense
+  // matrix — 1% of its bandwidth.
+  const Machine m = niagara();
+  const MatrixModelInput in = analyze_matrix(dense_matrix(), m);
+  const Prediction p = predict(m, {1, 1, 1}, in, OptLevel::kCacheBlocked);
+  EXPECT_NEAR(p.gflops, 0.065, 0.02);
+}
+
+TEST_F(ModelOnSuite, CellBladeWinsOnDense) {
+  // Fig. 2a ordering at full system: Cell blade >> AMD X2 ~ Clovertown
+  // > Niagara.
+  const auto gflops_of = [&](const Machine& m) {
+    const MatrixModelInput in = analyze_matrix(dense_matrix(), m);
+    return predict(m, RunConfig::full_system(m), in, OptLevel::kCacheBlocked)
+        .gflops;
+  };
+  const double cell = gflops_of(cell_blade());
+  const double amd = gflops_of(amd_x2());
+  const double clv = gflops_of(clovertown());
+  const double nia = gflops_of(niagara());
+  EXPECT_GT(cell, 1.5 * amd);
+  EXPECT_GT(cell, 1.5 * clv);
+  EXPECT_GT(amd, nia);
+  EXPECT_GT(clv, nia);
+}
+
+TEST_F(ModelOnSuite, OptimizationLaddersAreMonotone) {
+  const CsrMatrix m = gen::generate_suite_matrix("FEM/Cantilever", 0.1);
+  for (const Machine& mach : {amd_x2(), clovertown()}) {
+    const MatrixModelInput in = analyze_matrix(m, mach);
+    double prev = 0.0;
+    for (const OptLevel level :
+         {OptLevel::kNaive, OptLevel::kPrefetch, OptLevel::kRegisterBlocked,
+          OptLevel::kCacheBlocked}) {
+      const double g = predict(mach, RunConfig::one_core(), in, level).gflops;
+      EXPECT_GE(g, prev * 0.999) << mach.name << " " << to_string(level);
+      prev = g;
+    }
+  }
+}
+
+TEST_F(ModelOnSuite, OskiSlowerThanOurSerial) {
+  // §6.2: 1.2-1.4x serial advantage over OSKI (prefetch + compression).
+  const CsrMatrix m = gen::generate_suite_matrix("Wind Tunnel", 0.05);
+  const Machine mach = amd_x2();
+  const MatrixModelInput in = analyze_matrix(m, mach);
+  const double ours =
+      predict(mach, RunConfig::one_core(), in, OptLevel::kCacheBlocked).gflops;
+  const double oski = predict_oski(mach, in).gflops;
+  EXPECT_GT(ours, oski);
+  EXPECT_LT(ours, 2.0 * oski);  // advantage is real but bounded
+}
+
+TEST_F(ModelOnSuite, OskiPetscSlowerThanOurParallel) {
+  // §6.2: our full system runs ~3.2x faster than OSKI-PETSc on AMD X2.
+  const CsrMatrix m = gen::generate_suite_matrix("FEM/Ship", 0.1);
+  const Machine mach = amd_x2();
+  const MatrixModelInput in = analyze_matrix(m, mach);
+  const double ours =
+      predict(mach, RunConfig::full_system(mach), in, OptLevel::kCacheBlocked)
+          .gflops;
+  const double petsc = predict_oski_petsc(mach, in).gflops;
+  EXPECT_GT(ours, 1.5 * petsc);
+}
+
+TEST(Power, Figure2bOrdering) {
+  // Fig 2b: Cell blade & PS3 lead power efficiency; Niagara is last.
+  // Use each machine's modeled full-system dense Gflop/s.
+  const CsrMatrix m = gen::generate_suite_matrix("Dense", 0.5);
+  std::vector<std::pair<std::string, double>> eff;
+  for (const Machine& mach : all_machines()) {
+    const MatrixModelInput in = analyze_matrix(m, mach);
+    const double g =
+        predict(mach, RunConfig::full_system(mach), in,
+                OptLevel::kCacheBlocked)
+            .gflops;
+    eff.emplace_back(mach.name, mflops_per_watt(mach, g));
+  }
+  const auto value = [&](const std::string& name) {
+    for (const auto& [n, v] : eff) {
+      if (n == name) return v;
+    }
+    throw std::logic_error("missing");
+  };
+  EXPECT_GT(value("Cell Blade"), value("AMD X2"));
+  EXPECT_GT(value("Cell PS3"), value("AMD X2"));
+  EXPECT_GT(value("Cell Blade"), value("Clovertown"));
+  EXPECT_GT(value("AMD X2"), value("Niagara"));
+}
+
+TEST(OptLevelNames, Strings) {
+  EXPECT_STREQ(to_string(OptLevel::kNaive), "naive");
+  EXPECT_STREQ(to_string(OptLevel::kCacheBlocked), "+PF+RB+CB");
+}
+
+}  // namespace
+}  // namespace spmv::model

@@ -1,0 +1,106 @@
+// Tests for the nnz-balanced and equal-rows partitioners.
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "gen/generators.h"
+#include "matrix/coo.h"
+
+namespace spmv {
+namespace {
+
+void expect_cover(const std::vector<RowRange>& parts, std::uint32_t rows) {
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(parts.front().begin, 0u);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+  }
+  EXPECT_EQ(parts.back().end, rows);
+}
+
+TEST(PartitionNnz, CoversAllRows) {
+  const CsrMatrix m = gen::uniform_random(1000, 1000, 5.0, 1);
+  for (unsigned parts : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    expect_cover(partition_rows_by_nnz(m, parts), m.rows());
+  }
+}
+
+TEST(PartitionNnz, BalancedOnUniformMatrix) {
+  const CsrMatrix m = gen::uniform_random(10000, 10000, 8.0, 2);
+  const auto parts = partition_rows_by_nnz(m, 4);
+  EXPECT_LT(partition_imbalance(m, parts), 1.05);
+}
+
+TEST(PartitionNnz, BalancesSkewedMatrix) {
+  // Top rows dense, bottom rows nearly empty: equal-rows would be terrible,
+  // nnz-balanced must stay close to ideal.
+  CooBuilder b(1000, 1000);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    for (std::uint32_t c = 0; c < 200; ++c) b.add(r, (r + c * 5) % 1000, 1.0);
+  }
+  for (std::uint32_t r = 100; r < 1000; ++r) b.add(r, r, 1.0);
+  const CsrMatrix m = b.build();
+
+  const auto balanced = partition_rows_by_nnz(m, 4);
+  const auto equal = partition_rows_equal(m.rows(), 4);
+  EXPECT_LT(partition_imbalance(m, balanced), 1.3);
+  EXPECT_GT(partition_imbalance(m, equal), 3.0);
+}
+
+TEST(PartitionNnz, MorePartsThanRows) {
+  const CsrMatrix m = gen::dense(4);
+  const auto parts = partition_rows_by_nnz(m, 16);
+  expect_cover(parts, 4);
+  // No part holds more than one row.
+  for (const auto& p : parts) EXPECT_LE(p.size(), 1u);
+}
+
+TEST(PartitionNnz, SinglePart) {
+  const CsrMatrix m = gen::dense(8);
+  const auto parts = partition_rows_by_nnz(m, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].begin, 0u);
+  EXPECT_EQ(parts[0].end, 8u);
+}
+
+TEST(PartitionNnz, RejectsZeroParts) {
+  const CsrMatrix m = gen::dense(4);
+  EXPECT_THROW(partition_rows_by_nnz(m, 0), std::invalid_argument);
+}
+
+TEST(PartitionEqual, EvenSplit) {
+  const auto parts = partition_rows_equal(100, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 25u);
+}
+
+TEST(PartitionEqual, UnevenSplitCovers) {
+  const auto parts = partition_rows_equal(10, 3);
+  std::uint32_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(parts.back().end, 10u);
+}
+
+TEST(PartitionImbalance, PaperFemAccelScenario) {
+  // §6.2: with the equal-rows distribution "one process has 40% of the
+  // total non-zeros in a 4-process run" for FEM/Accelerator-like skew.
+  // Construct that skew and confirm the statistic sees it.
+  CooBuilder b(400, 400);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    for (std::uint32_t c = 0; c < 16; ++c) b.add(r, (r * 7 + c) % 400, 1.0);
+  }
+  for (std::uint32_t r = 100; r < 400; ++r) b.add(r, r, 1.0);
+  const CsrMatrix m = b.build();
+  const auto equal = partition_rows_equal(m.rows(), 4);
+  // First quarter holds 1600 of 1900 nnz -> imbalance ~3.4.
+  EXPECT_GT(partition_imbalance(m, equal), 3.0);
+}
+
+TEST(PartitionImbalance, PerfectBalanceIsOne) {
+  const CsrMatrix m = gen::dense(64);
+  const auto parts = partition_rows_equal(64, 4);
+  EXPECT_DOUBLE_EQ(partition_imbalance(m, parts), 1.0);
+}
+
+}  // namespace
+}  // namespace spmv

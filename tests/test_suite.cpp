@@ -1,0 +1,107 @@
+// Tests the 14-matrix suite registry against the paper's Table 3 shape
+// statistics (at reduced scale for speed; a full-scale spot check covers
+// the scaling math).
+#include <gtest/gtest.h>
+
+#include "gen/suite.h"
+#include "matrix/matrix_stats.h"
+
+namespace spmv {
+namespace {
+
+TEST(Suite, FourteenEntriesInPaperOrder) {
+  const auto& entries = gen::suite_entries();
+  ASSERT_EQ(entries.size(), 14u);
+  EXPECT_EQ(entries.front().name, "Dense");
+  EXPECT_EQ(entries[6].name, "QCD");
+  EXPECT_EQ(entries.back().name, "LP");
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(gen::suite_entry("FEM/Ship").filename, "shipsec1.rsa");
+  EXPECT_THROW(gen::suite_entry("nope"), std::out_of_range);
+}
+
+TEST(Suite, ScaleValidated) {
+  EXPECT_THROW(gen::generate_suite_matrix("Dense", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(gen::generate_suite_matrix("Dense", 1.5),
+               std::invalid_argument);
+}
+
+// Parameterized check: at scale 1/8, every suite matrix must reproduce the
+// paper's rows within 15% (scaled) and nnz/row within 20%.  These are the
+// §5.1-relevant statistics.
+class SuiteShape : public testing::TestWithParam<gen::SuiteEntry> {};
+
+TEST_P(SuiteShape, MatchesScaledTable3) {
+  const gen::SuiteEntry& e = GetParam();
+  const double scale = 0.125;
+  const CsrMatrix m = gen::generate_suite_matrix(e, scale);
+  const MatrixStats s = compute_stats(m);
+
+  const double expect_rows = static_cast<double>(e.paper_rows) * scale;
+  EXPECT_NEAR(static_cast<double>(m.rows()), expect_rows, 0.15 * expect_rows)
+      << e.name;
+  // nnz/row is scale-invariant for every matrix except Dense, whose row
+  // density *is* its dimension.
+  const double expect_nnz_per_row = e.name == "Dense"
+                                        ? static_cast<double>(m.rows())
+                                        : e.paper_nnz_per_row;
+  EXPECT_NEAR(s.nnz_per_row, expect_nnz_per_row, 0.20 * expect_nnz_per_row)
+      << e.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatrices, SuiteShape, testing::ValuesIn(gen::suite_entries()),
+    [](const testing::TestParamInfo<gen::SuiteEntry>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Suite, StructureClasses) {
+  const double scale = 0.125;
+  // Near-diagonal: Epidemiology streams a narrow band.
+  {
+    const auto m = gen::generate_suite_matrix("Epidemiology", scale);
+    EXPECT_LT(compute_stats(m).diag_spread, 0.02);
+  }
+  // Scattered: FEM/Accelerator looks random at block granularity.
+  {
+    const auto m = gen::generate_suite_matrix("FEM/Accelerator", scale);
+    EXPECT_GT(compute_stats(m).diag_spread, 0.1);
+  }
+  // FEM matrices have dense block substructure.
+  {
+    const auto m = gen::generate_suite_matrix("FEM/Cantilever", scale);
+    EXPECT_LT(block_fill_ratio(m, 2, 2), 2.0);
+  }
+  // LP: extreme aspect ratio.
+  {
+    const auto m = gen::generate_suite_matrix("LP", scale);
+    EXPECT_GT(m.cols() / m.rows(), 100u);
+  }
+  // webbase: heavy-tailed in-degree.
+  {
+    const auto m = gen::generate_suite_matrix("webbase", scale);
+    const auto ts = compute_stats(m.transpose());
+    EXPECT_GT(static_cast<double>(ts.max_row_nnz), 50.0);
+  }
+}
+
+TEST(Suite, FullScaleSpotCheck) {
+  // One full-scale generation validates the scale=1 parameterization
+  // against Table 3 exactly; QCD is the cheapest structured entry.
+  const auto& e = gen::suite_entry("QCD");
+  const CsrMatrix m = gen::generate_suite_matrix(e, 1.0);
+  EXPECT_NEAR(static_cast<double>(m.rows()), 49152.0, 1.0);
+  const MatrixStats s = compute_stats(m);
+  EXPECT_NEAR(s.nnz_per_row, 39.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(m.nnz()), 1.9e6, 0.05e6);
+}
+
+}  // namespace
+}  // namespace spmv

@@ -1,0 +1,95 @@
+// Tests for the persistent worker pool: dispatch, reuse, exception
+// propagation, concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace spmv {
+namespace {
+
+TEST(ThreadPool, RunsEveryTidExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned tid) { hits[tid].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeMatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.run([&](unsigned) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 400);
+}
+
+TEST(ThreadPool, DistinctThreadsExecute) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.run([&](unsigned) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run([](unsigned tid) {
+        if (tid == 1) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool must still be usable after a failed run.
+  std::atomic<int> counter{0};
+  pool.run([&](unsigned) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ParallelSumIsCorrect) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::size_t kN = 1 << 18;
+  std::vector<double> data(kN, 1.0);
+  std::vector<double> partial(kThreads, 0.0);
+  ThreadPool pool(kThreads);
+  pool.run([&](unsigned tid) {
+    const std::size_t chunk = kN / kThreads;
+    const std::size_t begin = tid * chunk;
+    const std::size_t end = tid + 1 == kThreads ? kN : begin + chunk;
+    partial[tid] = std::accumulate(data.begin() + begin, data.begin() + end,
+                                   0.0);
+  });
+  EXPECT_DOUBLE_EQ(std::accumulate(partial.begin(), partial.end(), 0.0),
+                   static_cast<double>(kN));
+}
+
+TEST(ThreadPool, PinnedPoolStillWorks) {
+  // Pinning may fail on constrained hosts; the pool must work regardless.
+  ThreadPool pool(2, /*pin=*/true);
+  std::atomic<int> counter{0};
+  pool.run([&](unsigned) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, DestructionWithoutRunsIsClean) {
+  ThreadPool pool(8);
+  // No run() at all: destructor must join cleanly (no hang, no crash).
+}
+
+}  // namespace
+}  // namespace spmv
