@@ -5,8 +5,14 @@
 //                    1.0 reproduces Table 3 sizes exactly)
 //   --csv=true       emit CSV instead of the ASCII table
 //   --measure_seconds=<s>  min measuring time per kernel timing
+//   --json=true      additionally write BENCH_<title>.json (machine-
+//                    readable: title, host, scale, headers, rows) so CI
+//                    can archive a perf trajectory across PRs
+//   --json_dir=<dir> directory for the JSON dumps (default ".")
 #pragma once
 
+#include <cctype>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -24,10 +30,44 @@
 
 namespace spmv::bench {
 
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string slugify(const std::string& title) {
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? std::string("untitled") : slug;
+}
+
+}  // namespace detail
+
 struct BenchConfig {
   double scale = 0.25;
   bool csv = false;
   double measure_seconds = 0.05;
+  bool json = false;
+  std::string json_dir = ".";
 
   static BenchConfig from_cli(int argc, char** argv) {
     const Cli cli(argc, argv);
@@ -35,6 +75,8 @@ struct BenchConfig {
     c.scale = cli.get_double("scale", 0.25);
     c.csv = cli.get_bool("csv", false);
     c.measure_seconds = cli.get_double("measure_seconds", 0.05);
+    c.json = cli.get_bool("json", false);
+    c.json_dir = cli.get("json_dir", ".");
     return c;
   }
 
@@ -45,6 +87,42 @@ struct BenchConfig {
     } else {
       table.print(std::cout);
     }
+    if (json) write_json(table, title);
+  }
+
+  /// Dump `table` as BENCH_<slug(title)>.json: one self-describing record
+  /// per bench run, stable keys, for plotting perf across PRs.
+  void write_json(const Table& table, const std::string& title) const {
+    const std::string path =
+        json_dir + "/BENCH_" + detail::slugify(title) + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    const HostInfo& h = host_info();
+    os << "{\n";
+    os << "  \"title\": \"" << detail::json_escape(title) << "\",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"host\": {\"vendor\": \"" << detail::json_escape(h.vendor)
+       << "\", \"logical_cpus\": " << h.logical_cpus
+       << ", \"avx2\": " << (h.has_avx2 ? "true" : "false") << "},\n";
+    os << "  \"headers\": [";
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      if (c != 0) os << ", ";
+      os << '"' << detail::json_escape(table.header(c)) << '"';
+    }
+    os << "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      os << "    [";
+      for (std::size_t c = 0; c < table.cols(); ++c) {
+        if (c != 0) os << ", ";
+        os << '"' << detail::json_escape(table.cell(r, c)) << '"';
+      }
+      os << (r + 1 == table.rows() ? "]\n" : "],\n");
+    }
+    os << "  ]\n}\n";
+    if (!csv) std::cout << "# wrote " << path << "\n";
   }
 };
 

@@ -1,0 +1,79 @@
+// Engine batch amortization: multiply_batch() vs looped multiply().
+//
+// A server answering many simultaneous SpMV requests over one planned
+// matrix pays a pool dispatch + barrier per multiply().  The engine's
+// batched path pays it once per batch: each worker sweeps its encoded
+// blocks over every right-hand side before hitting the barrier.  This
+// bench measures that amortization on a suite matrix across batch sizes —
+// the gap is largest for small/medium matrices where the barrier is a
+// visible fraction of the sweep.
+//
+//   --matrix=<suite name>  (default FEM/Harbor)
+//   --threads=<n>          (default: all logical CPUs)
+// The batch-size ladder is fixed at {1, 2, 4, 8, 16, 32}.
+#include "bench_common.h"
+
+#include <vector>
+
+#include "engine/executor.h"
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  const auto cfg = bench::BenchConfig::from_cli(argc, argv);
+  const Cli cli(argc, argv);
+  bench::print_host_banner();
+  bench::SuiteCache suite(cfg.scale);
+
+  const std::string name = cli.get("matrix", "FEM/Harbor");
+  const CsrMatrix& m = suite.get(name);
+  const unsigned threads = static_cast<unsigned>(
+      cli.get_int("threads", host_info().logical_cpus));
+
+  TuningOptions opt = TuningOptions::full(threads);
+  opt.tune_prefetch = false;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  engine::Executor exec(tuned);
+
+  constexpr std::size_t kMaxBatch = 32;
+  std::vector<std::vector<double>> xs_store, ys_store;
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    xs_store.push_back(bench::random_vector(m.cols(), 100 + i));
+    ys_store.emplace_back(m.rows(), 0.0);
+  }
+  std::vector<const double*> xs;
+  std::vector<double*> ys;
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    xs.push_back(xs_store[i].data());
+    ys.push_back(ys_store[i].data());
+  }
+
+  Table t({"batch", "looped GF/s", "batched GF/s", "speedup"});
+  for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto xs_b = std::span<const double* const>(xs).first(batch);
+    const auto ys_b = std::span<double* const>(ys).first(batch);
+
+    const TimingResult looped = time_kernel(
+        [&] {
+          for (std::size_t i = 0; i < batch; ++i) {
+            exec.multiply(std::span<const double>(xs_b[i], m.cols()),
+                          std::span<double>(ys_b[i], m.rows()));
+          }
+        },
+        cfg.measure_seconds, 3);
+    const TimingResult batched = time_kernel(
+        [&] { exec.multiply_batch(xs_b, ys_b); }, cfg.measure_seconds, 3);
+
+    const double nnz_swept =
+        static_cast<double>(m.nnz()) * static_cast<double>(batch);
+    const double gf_loop =
+        bench::gflops(static_cast<std::uint64_t>(nnz_swept), looped.best_s);
+    const double gf_batch =
+        bench::gflops(static_cast<std::uint64_t>(nnz_swept), batched.best_s);
+    t.add_row({std::to_string(batch), Table::fmt(gf_loop, 3),
+               Table::fmt(gf_batch, 3),
+               Table::fmt(looped.best_s / batched.best_s, 3)});
+  }
+  cfg.emit(t, "Engine batch amortization (" + name + ", " +
+                  std::to_string(threads) + " threads)");
+  return 0;
+}

@@ -122,12 +122,21 @@ OskiLikeMatrix OskiLikeMatrix::with_blocking(const CsrMatrix& a, unsigned br,
   return m;
 }
 
+OskiLikeMatrix::OskiLikeMatrix(OskiLikeMatrix&&) noexcept = default;
+OskiLikeMatrix& OskiLikeMatrix::operator=(OskiLikeMatrix&&) noexcept = default;
+OskiLikeMatrix::~OskiLikeMatrix() = default;
+
 void OskiLikeMatrix::multiply(std::span<const double> x,
                               std::span<double> y) const {
   if (x.size() < cols_ || y.size() < rows_) {
     throw std::invalid_argument("OskiLikeMatrix::multiply: vector too short");
   }
-  run_block(block_, x.data(), y.data(), 0);
+  execute(x.data(), y.data(), nullptr);
+}
+
+void OskiLikeMatrix::execute(const double* x, double* y,
+                             engine::Scratch* /*scratch*/) const {
+  run_block(block_, x, y, 0);
 }
 
 }  // namespace spmv::baseline

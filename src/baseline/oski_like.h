@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/blocked.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv::baseline {
@@ -47,7 +48,10 @@ OskiDecision oski_choose_blocking(const CsrMatrix& a,
                                   std::uint64_t seed = 1234);
 
 /// A serially tuned matrix: uniform r×c BCSR with 32-bit indices.
-class OskiLikeMatrix {
+/// Implements the engine plan interface (serial, scratch-free), so the
+/// baseline runs through the same Executor/batch front-end as the tuned
+/// code it is compared against.
+class OskiLikeMatrix final : public engine::SpmvPlan {
  public:
   static OskiLikeMatrix tune(const CsrMatrix& a,
                              const RegisterProfile& profile,
@@ -57,14 +61,25 @@ class OskiLikeMatrix {
   static OskiLikeMatrix with_blocking(const CsrMatrix& a, unsigned br,
                                       unsigned bc);
 
-  /// y ← y + A·x, single threaded.
+  OskiLikeMatrix(OskiLikeMatrix&&) noexcept;
+  OskiLikeMatrix& operator=(OskiLikeMatrix&&) noexcept;
+  ~OskiLikeMatrix() override;
+
+  /// y ← y + A·x, single threaded.  Safe for concurrent calls.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
   [[nodiscard]] const OskiDecision& decision() const { return decision_; }
-  [[nodiscard]] std::uint32_t rows() const { return rows_; }
-  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint32_t rows() const override { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const override { return cols_; }
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override { return 1; }
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
 
  private:
+  OskiLikeMatrix() = default;
+
   std::uint32_t rows_ = 0, cols_ = 0;
   OskiDecision decision_;
   EncodedBlock block_;  ///< whole matrix as one uniform block

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "baseline/oski_like.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv::baseline {
@@ -36,30 +37,49 @@ struct PetscLikeStats {
   }
 };
 
-class PetscLikeSpmv {
+class PetscLikeSpmv final : public engine::SpmvPlan {
  public:
   /// Distribute `a` over `ranks` emulated processes (equal-rows partition)
-  /// and OSKI-tune each local block.
+  /// and OSKI-tune each local block.  The plan borrows `ctx`'s worker pool
+  /// (nullptr: the global context) to run the ranks.
   static PetscLikeSpmv distribute(const CsrMatrix& a, unsigned ranks,
-                                  const RegisterProfile& profile);
+                                  const RegisterProfile& profile,
+                                  engine::ExecutionContext* ctx = nullptr);
+
+  PetscLikeSpmv(PetscLikeSpmv&&) noexcept;
+  PetscLikeSpmv& operator=(PetscLikeSpmv&&) noexcept;
+  ~PetscLikeSpmv() override;
 
   /// y ← y + A·x.  Ghost exchange then local multiplies; phases are timed
-  /// separately into stats().  Ranks execute sequentially — with ch_shmem
-  /// on one die the aggregate work is identical and the phase split is
-  /// deterministic.
-  void multiply(std::span<const double> x, std::span<double> y);
+  /// separately into stats().  Ranks run on the shared engine pool (with
+  /// ch_shmem on one die a "message" is a memcpy, so running ranks as pool
+  /// workers matches the emulated machine); the per-rank pack buffers live
+  /// in per-call scratch, so concurrent multiply() calls are safe.
+  void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] const PetscLikeStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative phase timers across all calls so far.
+  [[nodiscard]] PetscLikeStats stats() const;
   [[nodiscard]] unsigned ranks() const {
     return static_cast<unsigned>(local_.size());
   }
-  [[nodiscard]] std::uint32_t rows() const { return rows_; }
-  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint32_t rows() const override { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const override { return cols_; }
 
   /// Reset cumulative phase timers.
   void reset_stats();
 
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override { return ranks(); }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  [[nodiscard]] std::unique_ptr<engine::Scratch> make_scratch() const override;
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
+
  private:
+  PetscLikeSpmv() = default;
+
   struct Rank {
     std::uint32_t row0 = 0, row1 = 0;
     /// Global column ids this rank needs from outside its own slice,
@@ -67,14 +87,17 @@ class PetscLikeSpmv {
     std::vector<std::uint32_t> ghost_cols;
     /// Local matrix with columns renumbered: [own slice | ghosts].
     std::unique_ptr<OskiLikeMatrix> matrix;
-    /// Scratch: packed local x = own slice followed by ghost values.
-    std::vector<double> local_x;
     std::uint32_t own_col0 = 0, own_cols = 0;
   };
 
+  /// Cumulative phase timers, shared by concurrent calls.
+  struct StatsState;
+
   std::uint32_t rows_ = 0, cols_ = 0;
   std::vector<Rank> local_;
-  PetscLikeStats stats_;
+  engine::ExecutionContext* ctx_ = nullptr;
+  std::unique_ptr<StatsState> stats_;
+  mutable engine::ScratchCache scratch_cache_;
 };
 
 }  // namespace spmv::baseline

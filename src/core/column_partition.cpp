@@ -5,8 +5,9 @@
 
 #include "core/encode.h"
 #include "core/kernels_block.h"
-#include "core/thread_pool.h"
 #include "core/tuner.h"
+#include "engine/execution_context.h"
+#include "engine/reduction.h"
 
 namespace spmv {
 
@@ -19,6 +20,8 @@ ColumnPartitionedSpmv ColumnPartitionedSpmv::plan(const CsrMatrix& a,
   s.rows_ = a.rows();
   s.cols_ = a.cols();
   s.prefetch_ = opt.prefetch_distance;
+  s.pin_threads_ = opt.pin_threads;
+  s.ctx_ = &engine::context_or_global(opt.context);
 
   // Column nonzero histogram -> nnz-balanced stripe boundaries.
   std::vector<std::uint64_t> col_nnz(a.cols() + 1, 0);
@@ -50,11 +53,6 @@ ColumnPartitionedSpmv ColumnPartitionedSpmv::plan(const CsrMatrix& a,
         encode_block(a, extent, d.br, d.bc, d.fmt, d.idx));
   }
 
-  s.private_y_.resize(threads);
-  if (threads > 1) {
-    s.pool_ = std::make_unique<ThreadPool>(threads, opt.pin_threads);
-    for (auto& py : s.private_y_) py.assign(a.rows(), 0.0);
-  }
   return s;
 }
 
@@ -64,6 +62,11 @@ ColumnPartitionedSpmv& ColumnPartitionedSpmv::operator=(
     ColumnPartitionedSpmv&&) noexcept = default;
 ColumnPartitionedSpmv::~ColumnPartitionedSpmv() = default;
 
+std::unique_ptr<engine::Scratch> ColumnPartitionedSpmv::make_scratch() const {
+  if (threads() <= 1) return nullptr;
+  return std::make_unique<engine::PrivateYScratch>(threads(), rows_);
+}
+
 void ColumnPartitionedSpmv::multiply(std::span<const double> x,
                                      std::span<double> y) const {
   if (x.size() < cols_ || y.size() < rows_) {
@@ -72,39 +75,36 @@ void ColumnPartitionedSpmv::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("ColumnPartitionedSpmv::multiply: aliasing");
   }
-  const double* xp = x.data();
-  double* yp = y.data();
+  const engine::ScratchCache::Lease lease = scratch_cache_.borrow(*this);
+  execute(x.data(), y.data(), lease.get());
+}
 
-  if (!pool_) {
+void ColumnPartitionedSpmv::execute(const double* x, double* y,
+                                    engine::Scratch* scratch) const {
+  const unsigned threads = this->threads();
+  if (threads <= 1) {
     for (const Stripe& stripe : stripes_) {
       for (const EncodedBlock& blk : stripe.blocks) {
-        run_block(blk, xp, yp, prefetch_);
+        run_block(blk, x, y, prefetch_);
       }
     }
     return;
   }
 
-  const unsigned threads = static_cast<unsigned>(stripes_.size());
+  auto& s = *static_cast<engine::PrivateYScratch*>(scratch);
   // Phase 1: each thread multiplies its stripe into its private y.
-  // Phase 2: chunked parallel reduction — thread t reduces row chunk t of
-  // every private vector into the caller's y, so writes stay disjoint.
-  pool_->run([&](unsigned t) {
-    auto& py = private_y_[t];
-    std::fill(py.begin(), py.end(), 0.0);
-    for (const EncodedBlock& blk : stripes_[t].blocks) {
-      run_block(blk, xp, py.data(), prefetch_);
-    }
-  });
-  pool_->run([&](unsigned t) {
-    const std::uint64_t r0 =
-        static_cast<std::uint64_t>(rows_) * t / threads;
-    const std::uint64_t r1 =
-        static_cast<std::uint64_t>(rows_) * (t + 1) / threads;
-    for (unsigned src = 0; src < threads; ++src) {
-      const double* py = private_y_[src].data();
-      for (std::uint64_t r = r0; r < r1; ++r) yp[r] += py[r];
-    }
-  });
+  // Phase 2: chunked parallel reduction into the caller's y.
+  ctx_->parallel_for(
+      threads,
+      [&](unsigned t) {
+        auto& py = s.private_y[t];
+        std::fill(py.begin(), py.end(), 0.0);
+        for (const EncodedBlock& blk : stripes_[t].blocks) {
+          run_block(blk, x, py.data(), prefetch_);
+        }
+      },
+      pin_threads_);
+  engine::reduce_private_y(*ctx_, threads, rows_, pin_threads_, s, y);
 }
 
 }  // namespace spmv

@@ -11,37 +11,37 @@
 //
 // Each stripe is register-block encoded with the same tuner as the row
 // path, so the comparison in the ablation bench isolates the partitioning
-// axis alone.
+// axis alone.  The private destination vectors live in per-call engine
+// scratch, so concurrent multiply() calls are safe.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/blocked.h"
 #include "core/options.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
 
-class ThreadPool;
-
-class ColumnPartitionedSpmv {
+class ColumnPartitionedSpmv final : public engine::SpmvPlan {
  public:
   /// Plan: split columns into `opt.threads` nnz-balanced stripes and
-  /// encode each with the footprint tuner.
+  /// encode each with the footprint tuner.  The plan borrows the worker
+  /// pool of `opt.context` (nullptr: the global context).
   static ColumnPartitionedSpmv plan(const CsrMatrix& a,
                                     const TuningOptions& opt);
 
   ColumnPartitionedSpmv(ColumnPartitionedSpmv&&) noexcept;
   ColumnPartitionedSpmv& operator=(ColumnPartitionedSpmv&&) noexcept;
-  ~ColumnPartitionedSpmv();
+  ~ColumnPartitionedSpmv() override;
 
-  /// y ← y + A·x.
+  /// y ← y + A·x.  Safe for concurrent calls.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return rows_; }
-  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint32_t rows() const override { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const override { return cols_; }
   [[nodiscard]] unsigned threads() const {
     return static_cast<unsigned>(stripes_.size());
   }
@@ -50,6 +50,15 @@ class ColumnPartitionedSpmv {
   [[nodiscard]] const std::vector<std::uint32_t>& boundaries() const {
     return boundaries_;
   }
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override { return threads(); }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  [[nodiscard]] std::unique_ptr<engine::Scratch> make_scratch() const override;
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
 
  private:
   ColumnPartitionedSpmv() = default;
@@ -60,11 +69,11 @@ class ColumnPartitionedSpmv {
 
   std::uint32_t rows_ = 0, cols_ = 0;
   unsigned prefetch_ = 0;
+  bool pin_threads_ = true;
   std::vector<Stripe> stripes_;
   std::vector<std::uint32_t> boundaries_;
-  /// Private destination vectors, one per thread (rows_ doubles each).
-  mutable std::vector<std::vector<double>> private_y_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  engine::ExecutionContext* ctx_ = nullptr;
+  mutable engine::ScratchCache scratch_cache_;
 };
 
 }  // namespace spmv

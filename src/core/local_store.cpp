@@ -3,12 +3,33 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/partition.h"
-#include "core/thread_pool.h"
+#include "engine/execution_context.h"
 
 namespace spmv {
+
+struct LocalStoreSpmv::StatsState {
+  std::mutex mutex;
+  DmaStats totals;
+};
+
+namespace {
+
+/// Per-call staging areas: one emulated local store per SPE.
+struct LocalStoreScratch final : engine::Scratch {
+  struct Spe {
+    std::vector<double> ls_x;
+    std::vector<double> ls_y;
+    std::vector<double> ls_values[2];
+    std::vector<std::uint16_t> ls_cols[2];
+  };
+  std::vector<Spe> spes;
+};
+
+}  // namespace
 
 LocalStoreSpmv LocalStoreSpmv::plan(const CsrMatrix& a,
                                     const LocalStoreParams& p) {
@@ -21,6 +42,8 @@ LocalStoreSpmv LocalStoreSpmv::plan(const CsrMatrix& a,
   s.cols_ = a.cols();
   s.nnz_ = a.nnz();
   s.params_ = p;
+  s.ctx_ = &engine::context_or_global(p.context);
+  s.stats_ = std::make_unique<StatsState>();
 
   // Local store budget split: half for the double-buffered nonzero stream
   // (two chunks of values+indices), the rest shared between the x window
@@ -34,29 +57,23 @@ LocalStoreSpmv LocalStoreSpmv::plan(const CsrMatrix& a,
   const auto x_window =
       static_cast<std::uint32_t>(std::max<std::size_t>(
           512, vector_bytes * 2 / 3 / sizeof(double)));
-  const auto y_window =
-      static_cast<std::uint32_t>(std::max<std::size_t>(
-          512, vector_bytes / 3 / sizeof(double)));
+  s.y_window_ = static_cast<std::uint32_t>(std::max<std::size_t>(
+      512, vector_bytes / 3 / sizeof(double)));
   // 16-bit offsets bound the column window too.
-  const std::uint32_t col_window = std::min<std::uint32_t>(x_window, 65536);
+  s.x_window_ = std::min<std::uint32_t>(x_window, 65536);
+  s.chunk_nnz_ = std::max<std::size_t>(
+      64, p.dma_chunk_bytes / (sizeof(double) + sizeof(std::uint16_t)));
+
+  const std::uint32_t col_window = s.x_window_;
+  const std::uint32_t y_window = s.y_window_;
 
   const auto parts = partition_rows_by_nnz(a, p.spes);
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
   const auto values = a.values();
 
-  s.spes_.resize(p.spes);
+  s.spe_blocks_.resize(p.spes);
   for (unsigned t = 0; t < p.spes; ++t) {
-    Spe& spe = s.spes_[t];
-    // Staging buffers sized once, reused for every block.
-    spe.ls_x.assign(col_window, 0.0);
-    spe.ls_y.assign(y_window, 0.0);
-    const std::size_t chunk_nnz =
-        std::max<std::size_t>(64, p.dma_chunk_bytes / (sizeof(double) +
-                                                       sizeof(std::uint16_t)));
-    for (auto& buf : spe.ls_values) buf.assign(chunk_nnz, 0.0);
-    for (auto& buf : spe.ls_cols) buf.assign(chunk_nnz, 0);
-
     for (std::uint32_t r0 = parts[t].begin; r0 < parts[t].end;
          r0 += y_window) {
       const std::uint32_t r1 =
@@ -86,13 +103,12 @@ LocalStoreSpmv LocalStoreSpmv::plan(const CsrMatrix& a,
               static_cast<std::uint32_t>(blk.col_off.size());
         }
         if (!blk.col_off.empty()) {
-          spe.blocks.push_back(std::move(blk));
+          s.spe_blocks_[t].push_back(std::move(blk));
           ++s.total_blocks_;
         }
       }
     }
   }
-  if (p.spes > 1) s.pool_ = std::make_unique<ThreadPool>(p.spes);
   return s;
 }
 
@@ -103,8 +119,8 @@ LocalStoreSpmv::~LocalStoreSpmv() = default;
 double LocalStoreSpmv::bytes_per_nnz() const {
   if (nnz_ == 0) return 0.0;
   std::uint64_t bytes = 0;
-  for (const Spe& spe : spes_) {
-    for (const Block& b : spe.blocks) {
+  for (const auto& blocks : spe_blocks_) {
+    for (const Block& b : blocks) {
       bytes += b.values.size() * sizeof(double) +
                b.col_off.size() * sizeof(std::uint16_t) +
                b.row_start.size() * sizeof(std::uint32_t);
@@ -113,7 +129,27 @@ double LocalStoreSpmv::bytes_per_nnz() const {
   return static_cast<double>(bytes) / static_cast<double>(nnz_);
 }
 
-void LocalStoreSpmv::reset_stats() { stats_ = DmaStats{}; }
+DmaStats LocalStoreSpmv::stats() const {
+  std::lock_guard<std::mutex> lock(stats_->mutex);
+  return stats_->totals;
+}
+
+void LocalStoreSpmv::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_->mutex);
+  stats_->totals = DmaStats{};
+}
+
+std::unique_ptr<engine::Scratch> LocalStoreSpmv::make_scratch() const {
+  auto scratch = std::make_unique<LocalStoreScratch>();
+  scratch->spes.resize(params_.spes);
+  for (auto& spe : scratch->spes) {
+    spe.ls_x.assign(x_window_, 0.0);
+    spe.ls_y.assign(y_window_, 0.0);
+    for (auto& buf : spe.ls_values) buf.assign(chunk_nnz_, 0.0);
+    for (auto& buf : spe.ls_cols) buf.assign(chunk_nnz_, 0);
+  }
+  return scratch;
+}
 
 void LocalStoreSpmv::multiply(std::span<const double> x,
                               std::span<double> y) const {
@@ -123,15 +159,25 @@ void LocalStoreSpmv::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("LocalStoreSpmv::multiply: aliasing");
   }
-  const double* xp = x.data();
-  double* yp = y.data();
+  const engine::ScratchCache::Lease lease = scratch_cache_.borrow(*this);
+  execute(x.data(), y.data(), lease.get());
+}
 
+void LocalStoreSpmv::execute(const double* x, double* y,
+                             engine::Scratch* scratch) const {
+  auto& stage = *static_cast<LocalStoreScratch*>(scratch);
+  const double* xp = x;
+  double* yp = y;
+
+  // Per-call accounting: SPEs add to these atomics, and the call merges
+  // one total into the shared cumulative stats at the end — concurrent
+  // multiply() calls never touch each other's counters mid-flight.
   std::atomic<std::uint64_t> x_bytes{0}, y_bytes{0}, m_bytes{0}, dmas{0};
 
   auto work = [&](unsigned t) {
-    Spe& spe = spes_[t];
+    LocalStoreScratch::Spe& spe = stage.spes[t];
     const std::size_t chunk_nnz = spe.ls_values[0].size();
-    for (const Block& blk : spe.blocks) {
+    for (const Block& blk : spe_blocks_[t]) {
       // DMA 1: stage the x window into the local store.
       const std::size_t xw = blk.col1 - blk.col0;
       std::memcpy(spe.ls_x.data(), xp + blk.col0, xw * sizeof(double));
@@ -195,15 +241,13 @@ void LocalStoreSpmv::multiply(std::span<const double> x,
     }
   };
 
-  if (pool_) {
-    pool_->run(work);
-  } else {
-    work(0);
-  }
-  stats_.x_bytes += x_bytes.load();
-  stats_.y_bytes += y_bytes.load();
-  stats_.matrix_bytes += m_bytes.load();
-  stats_.dma_transfers += dmas.load();
+  ctx_->parallel_for(params_.spes, work, /*pin=*/false);
+
+  std::lock_guard<std::mutex> lock(stats_->mutex);
+  stats_->totals.x_bytes += x_bytes.load();
+  stats_->totals.y_bytes += y_bytes.load();
+  stats_->totals.matrix_bytes += m_bytes.load();
+  stats_->totals.dma_transfers += dmas.load();
 }
 
 }  // namespace spmv

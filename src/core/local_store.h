@@ -10,12 +10,14 @@
 // transfer overlaps compute.
 //
 // This executor reproduces that structure on a cache machine: "DMA" is an
-// explicit memcpy into fixed-size staging buffers owned by each emulated
-// SPE, chunked and alternated exactly as double buffering would issue
-// them, with every staged byte accounted in DmaStats.  It is the code
-// path the machine model's Cell predictions describe, made runnable —
-// tests verify the numerics, and the stats verify the traffic accounting
-// the §6.1 analysis relies on (Cell's 10 B/nnz format).
+// explicit memcpy into fixed-size staging buffers, chunked and alternated
+// exactly as double buffering would issue them, with every staged byte
+// accounted in DmaStats.  The staging buffers ("local stores") live in
+// per-call engine scratch and each call's DMA counts merge into the
+// cumulative stats under a lock, so concurrent multiply() calls are safe.
+// It is the code path the machine model's Cell predictions describe, made
+// runnable — tests verify the numerics, and the stats verify the traffic
+// accounting the §6.1 analysis relies on (Cell's 10 B/nnz format).
 #pragma once
 
 #include <cstdint>
@@ -23,11 +25,10 @@
 #include <span>
 #include <vector>
 
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
-
-class ThreadPool;
 
 struct LocalStoreParams {
   /// Emulated local-store capacity per SPE (Cell: 256 KB).
@@ -36,6 +37,9 @@ struct LocalStoreParams {
   unsigned spes = 1;
   /// DMA chunk granularity for the double-buffered nonzero stream.
   std::size_t dma_chunk_bytes = 16 * 1024;
+  /// Execution context whose worker pool runs the SPEs; nullptr means the
+  /// process-wide engine::ExecutionContext::global().
+  engine::ExecutionContext* context = nullptr;
 };
 
 struct DmaStats {
@@ -49,7 +53,7 @@ struct DmaStats {
   }
 };
 
-class LocalStoreSpmv {
+class LocalStoreSpmv final : public engine::SpmvPlan {
  public:
   /// Plan dense cache blocks sized to the local store and encode them in
   /// the Cell format (8-byte values + 2-byte in-block column offsets).
@@ -57,20 +61,33 @@ class LocalStoreSpmv {
 
   LocalStoreSpmv(LocalStoreSpmv&&) noexcept;
   LocalStoreSpmv& operator=(LocalStoreSpmv&&) noexcept;
-  ~LocalStoreSpmv();
+  ~LocalStoreSpmv() override;
 
-  /// y ← y + A·x through the staged DMA pipeline.
+  /// y ← y + A·x through the staged DMA pipeline.  Safe for concurrent
+  /// calls; each accumulates its own DMA traffic into stats().
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return rows_; }
-  [[nodiscard]] std::uint32_t cols() const { return cols_; }
-  [[nodiscard]] const DmaStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t rows() const override { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const override { return cols_; }
+  /// Snapshot of the cumulative DMA statistics across all calls so far.
+  [[nodiscard]] DmaStats stats() const;
   [[nodiscard]] std::size_t blocks() const { return total_blocks_; }
   /// Stored bytes per nonzero (paper: ~10 B/nnz for the Cell format).
   [[nodiscard]] double bytes_per_nnz() const;
 
   /// Reset the cumulative DMA statistics.
   void reset_stats();
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override {
+    return params_.spes;
+  }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  [[nodiscard]] std::unique_ptr<engine::Scratch> make_scratch() const override;
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
 
  private:
   LocalStoreSpmv() = default;
@@ -80,29 +97,26 @@ class LocalStoreSpmv {
   struct Block {
     std::uint32_t row0 = 0, row1 = 0;
     std::uint32_t col0 = 0, col1 = 0;
-    std::vector<std::uint32_t> row_start;  ///< row_1 - row0 + 1 entries
+    std::vector<std::uint32_t> row_start;  ///< row1 - row0 + 1 entries
     std::vector<std::uint16_t> col_off;
     std::vector<double> values;
   };
 
-  /// Per-SPE staging area emulating the local store layout.
-  struct Spe {
-    std::vector<Block> blocks;
-    // Staging buffers ("local store"): x window, y window, double-buffered
-    // nonzero stream.
-    std::vector<double> ls_x;
-    std::vector<double> ls_y;
-    std::vector<double> ls_values[2];
-    std::vector<std::uint16_t> ls_cols[2];
-  };
+  /// Cumulative DMA accounting, shared by concurrent calls.
+  struct StatsState;
 
   std::uint32_t rows_ = 0, cols_ = 0;
   std::uint64_t nnz_ = 0;
   std::size_t total_blocks_ = 0;
   LocalStoreParams params_;
-  mutable std::vector<Spe> spes_;
-  mutable DmaStats stats_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  /// Staging geometry decided at plan time (elements, not bytes).
+  std::uint32_t x_window_ = 0, y_window_ = 0;
+  std::size_t chunk_nnz_ = 0;
+  /// spe_blocks_[s] are the dense blocks emulated SPE s streams through.
+  std::vector<std::vector<Block>> spe_blocks_;
+  engine::ExecutionContext* ctx_ = nullptr;
+  std::unique_ptr<StatsState> stats_;
+  mutable engine::ScratchCache scratch_cache_;
 };
 
 }  // namespace spmv

@@ -2,17 +2,17 @@
 
 #include <stdexcept>
 
-#include "core/thread_pool.h"
 #include "core/tuner.h"
+#include "engine/execution_context.h"
 
 namespace spmv {
 
-MultiVectorSpmv::MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads)
-    : matrix_(std::move(a)), k_(k) {
+MultiVectorSpmv::MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads,
+                                 engine::ExecutionContext* ctx)
+    : matrix_(std::move(a)), k_(k), ctx_(&engine::context_or_global(ctx)) {
   if (k == 0) throw std::invalid_argument("MultiVectorSpmv: k == 0");
   if (threads == 0) throw std::invalid_argument("MultiVectorSpmv: threads");
   thread_rows_ = partition_rows_by_nnz(matrix_, threads);
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 MultiVectorSpmv::MultiVectorSpmv(MultiVectorSpmv&&) noexcept = default;
@@ -80,25 +80,23 @@ void MultiVectorSpmv::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("MultiVectorSpmv::multiply: aliasing");
   }
-  const double* xp = x.data();
-  double* yp = y.data();
+  execute(x.data(), y.data(), nullptr);
+}
 
+void MultiVectorSpmv::execute(const double* x, double* y,
+                              engine::Scratch* /*scratch*/) const {
   auto work = [&](unsigned t) {
     const RowRange range = thread_rows_[t];
     switch (k_) {
-      case 1: sweep_fixed<1>(matrix_, range.begin, range.end, xp, yp); break;
-      case 2: sweep_fixed<2>(matrix_, range.begin, range.end, xp, yp); break;
-      case 4: sweep_fixed<4>(matrix_, range.begin, range.end, xp, yp); break;
-      case 8: sweep_fixed<8>(matrix_, range.begin, range.end, xp, yp); break;
+      case 1: sweep_fixed<1>(matrix_, range.begin, range.end, x, y); break;
+      case 2: sweep_fixed<2>(matrix_, range.begin, range.end, x, y); break;
+      case 4: sweep_fixed<4>(matrix_, range.begin, range.end, x, y); break;
+      case 8: sweep_fixed<8>(matrix_, range.begin, range.end, x, y); break;
       default:
-        sweep_generic(matrix_, k_, range.begin, range.end, xp, yp);
+        sweep_generic(matrix_, k_, range.begin, range.end, x, y);
     }
   };
-  if (pool_) {
-    pool_->run(work);
-  } else {
-    work(0);
-  }
+  ctx_->parallel_for(plan_threads(), work, /*pin=*/false);
 }
 
 }  // namespace spmv

@@ -12,44 +12,61 @@
 // specialized for k in {1, 2, 4, 8} and falls back to a generic loop.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/partition.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
 
-class ThreadPool;
-
-class MultiVectorSpmv {
+class MultiVectorSpmv final : public engine::SpmvPlan {
  public:
   /// Plan for `k` simultaneous vectors on `threads` threads.  The matrix
-  /// is copied in.
-  MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads = 1);
+  /// is copied in.  The plan borrows `ctx`'s worker pool (nullptr: the
+  /// global context).
+  MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads = 1,
+                  engine::ExecutionContext* ctx = nullptr);
 
   MultiVectorSpmv(MultiVectorSpmv&&) noexcept;
   MultiVectorSpmv& operator=(MultiVectorSpmv&&) noexcept;
-  ~MultiVectorSpmv();
+  ~MultiVectorSpmv() override;
 
   /// Y ← Y + A·X with X of shape cols×k and Y of shape rows×k, both
-  /// row-major: X[c*k + j] is element c of vector j.
+  /// row-major: X[c*k + j] is element c of vector j.  Safe for concurrent
+  /// calls (workers write disjoint row ranges).
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return matrix_.rows(); }
-  [[nodiscard]] std::uint32_t cols() const { return matrix_.cols(); }
+  [[nodiscard]] std::uint32_t rows() const override { return matrix_.rows(); }
+  [[nodiscard]] std::uint32_t cols() const override { return matrix_.cols(); }
   [[nodiscard]] unsigned vectors() const { return k_; }
 
   /// Model flop:byte of the k-vector sweep relative to single-vector
   /// (the bandwidth-amortization factor the ablation bench reports).
   [[nodiscard]] double flop_byte_amplification() const;
 
+  // engine::SpmvPlan — operands carry k interleaved vectors.
+  [[nodiscard]] std::uint64_t x_elements() const override {
+    return static_cast<std::uint64_t>(matrix_.cols()) * k_;
+  }
+  [[nodiscard]] std::uint64_t y_elements() const override {
+    return static_cast<std::uint64_t>(matrix_.rows()) * k_;
+  }
+  [[nodiscard]] unsigned plan_threads() const override {
+    return static_cast<unsigned>(thread_rows_.size());
+  }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
+
  private:
   CsrMatrix matrix_;
   unsigned k_ = 1;
   std::vector<RowRange> thread_rows_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  engine::ExecutionContext* ctx_ = nullptr;
 };
 
 }  // namespace spmv

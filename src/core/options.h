@@ -9,6 +9,10 @@
 
 #include <cstddef>
 
+namespace spmv::engine {
+class ExecutionContext;
+}  // namespace spmv::engine
+
 namespace spmv {
 
 /// Low-level inner-loop implementation strategy (paper §4.1).
@@ -55,11 +59,20 @@ struct TuningOptions {
 
   // --- parallelization optimizations (§4.3) ---
   unsigned threads = 1;
-  /// Pin worker i to logical CPU i (process affinity).
+  /// Request pinning worker i to logical CPU i (process affinity).  The
+  /// worker pool is shared through the ExecutionContext, so affinity is a
+  /// process-wide, upgrade-only policy: the pool becomes pinned once any
+  /// plan that requests pinning dispatches on it (regardless of dispatch
+  /// order), and false never unpins it.  ExecutionConfig::pin_threads =
+  /// false on the context forbids pinning outright.
   bool pin_threads = true;
   /// Encode each thread's blocks on that thread so first-touch places them
   /// in the local NUMA domain (memory affinity).
   bool numa_first_touch = true;
+  /// Execution context whose shared worker pool the plan borrows for both
+  /// NUMA-aware encoding and every multiply; nullptr means the process-wide
+  /// engine::ExecutionContext::global().  The context must outlive the plan.
+  engine::ExecutionContext* context = nullptr;
 
   /// Everything off: the naive serial CSR configuration.
   static TuningOptions naive() {

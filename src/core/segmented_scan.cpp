@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/thread_pool.h"
+#include "engine/execution_context.h"
 
 namespace spmv {
 
-SegmentedScanSpmv::SegmentedScanSpmv(CsrMatrix a, unsigned threads)
-    : matrix_(std::move(a)) {
+namespace {
+
+/// Per-call carry slots: partial sums for each chunk's (possibly shared)
+/// first and last row.
+struct SegScanScratch final : engine::Scratch {
+  explicit SegScanScratch(std::size_t threads)
+      : head_partial(threads, 0.0), tail_partial(threads, 0.0) {}
+  std::vector<double> head_partial;
+  std::vector<double> tail_partial;
+};
+
+}  // namespace
+
+SegmentedScanSpmv::SegmentedScanSpmv(CsrMatrix a, unsigned threads,
+                                     engine::ExecutionContext* ctx)
+    : matrix_(std::move(a)), ctx_(&engine::context_or_global(ctx)) {
   if (threads == 0) {
     throw std::invalid_argument("SegmentedScanSpmv: zero threads");
   }
@@ -32,9 +46,6 @@ SegmentedScanSpmv::SegmentedScanSpmv(CsrMatrix a, unsigned threads)
       c.row_last = row_of(c.k1 - 1);
     }
   }
-  head_partial_.assign(threads, 0.0);
-  tail_partial_.assign(threads, 0.0);
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 SegmentedScanSpmv::SegmentedScanSpmv(SegmentedScanSpmv&&) noexcept = default;
@@ -50,6 +61,10 @@ double SegmentedScanSpmv::nnz_imbalance() const {
   return ideal == 0.0 ? 1.0 : static_cast<double>(worst) / ideal;
 }
 
+std::unique_ptr<engine::Scratch> SegmentedScanSpmv::make_scratch() const {
+  return std::make_unique<SegScanScratch>(chunks_.size());
+}
+
 void SegmentedScanSpmv::multiply(std::span<const double> x,
                                  std::span<double> y) const {
   if (x.size() < matrix_.cols() || y.size() < matrix_.rows()) {
@@ -58,16 +73,25 @@ void SegmentedScanSpmv::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("SegmentedScanSpmv::multiply: aliasing");
   }
+  const engine::ScratchCache::Lease lease = scratch_cache_.borrow(*this);
+  execute(x.data(), y.data(), lease.get());
+}
+
+void SegmentedScanSpmv::execute(const double* x, double* y,
+                                engine::Scratch* scratch) const {
+  auto& s = *static_cast<SegScanScratch*>(scratch);
   const auto row_ptr = matrix_.row_ptr();
   const auto col_idx = matrix_.col_idx();
   const auto values = matrix_.values();
-  const double* xp = x.data();
-  double* yp = y.data();
+  const double* xp = x;
+  double* yp = y;
+  double* head_partial = s.head_partial.data();
+  double* tail_partial = s.tail_partial.data();
 
   auto work = [&](unsigned t) {
     const Chunk& c = chunks_[t];
-    head_partial_[t] = 0.0;
-    tail_partial_[t] = 0.0;
+    head_partial[t] = 0.0;
+    tail_partial[t] = 0.0;
     if (c.k0 >= c.k1) return;
 
     std::uint64_t k = c.k0;
@@ -78,10 +102,10 @@ void SegmentedScanSpmv::multiply(std::span<const double> x,
     for (; k < head_end; ++k) acc += values[k] * xp[col_idx[k]];
     if (c.row_first == c.row_last) {
       // The whole chunk lives in one row; everything is a carry.
-      head_partial_[t] = acc;
+      head_partial[t] = acc;
       return;
     }
-    head_partial_[t] = acc;
+    head_partial[t] = acc;
 
     // Interior rows are fully owned: accumulate straight into y.
     for (std::uint32_t r = c.row_first + 1; r < c.row_last; ++r) {
@@ -94,22 +118,19 @@ void SegmentedScanSpmv::multiply(std::span<const double> x,
     // Tail: the head of row_last (possibly shared with the next chunk).
     acc = 0.0;
     for (; k < c.k1; ++k) acc += values[k] * xp[col_idx[k]];
-    tail_partial_[t] = acc;
+    tail_partial[t] = acc;
   };
 
-  if (pool_) {
-    pool_->run(work);
-  } else {
-    work(0);
-  }
+  ctx_->parallel_for(static_cast<unsigned>(chunks_.size()), work,
+                     /*pin=*/false);
 
   // Serial fix-up: fold the 2T carries into their rows.  Chunks are
   // ordered, so this is a short deterministic loop.
   for (std::size_t t = 0; t < chunks_.size(); ++t) {
     const Chunk& c = chunks_[t];
     if (c.k0 >= c.k1) continue;
-    yp[c.row_first] += head_partial_[t];
-    if (c.row_last != c.row_first) yp[c.row_last] += tail_partial_[t];
+    yp[c.row_first] += head_partial[t];
+    if (c.row_last != c.row_first) yp[c.row_last] += tail_partial[t];
   }
 }
 

@@ -11,35 +11,36 @@
 //
 // The paper deferred this to future work; it is implemented here both as a
 // library feature and as the ablation target for the row-vs-nonzero
-// partitioning comparison.
+// partitioning comparison.  The carry slots live in per-call engine
+// scratch, so concurrent multiply() calls are safe.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/partition.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
 
-class ThreadPool;
-
-class SegmentedScanSpmv {
+class SegmentedScanSpmv final : public engine::SpmvPlan {
  public:
   /// Plan a nonzero-balanced split of `a` across `threads`.
-  /// The matrix is copied in (the planner owns its storage).
-  SegmentedScanSpmv(CsrMatrix a, unsigned threads);
+  /// The matrix is copied in (the planner owns its storage).  The plan
+  /// borrows `ctx`'s worker pool (nullptr: the global context).
+  SegmentedScanSpmv(CsrMatrix a, unsigned threads,
+                    engine::ExecutionContext* ctx = nullptr);
 
   SegmentedScanSpmv(SegmentedScanSpmv&&) noexcept;
   SegmentedScanSpmv& operator=(SegmentedScanSpmv&&) noexcept;
-  ~SegmentedScanSpmv();
+  ~SegmentedScanSpmv() override;
 
-  /// y ← y + A·x.
+  /// y ← y + A·x.  Safe for concurrent calls.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return matrix_.rows(); }
-  [[nodiscard]] std::uint32_t cols() const { return matrix_.cols(); }
+  [[nodiscard]] std::uint32_t rows() const override { return matrix_.rows(); }
+  [[nodiscard]] std::uint32_t cols() const override { return matrix_.cols(); }
   [[nodiscard]] unsigned threads() const {
     return static_cast<unsigned>(chunks_.size());
   }
@@ -48,6 +49,15 @@ class SegmentedScanSpmv {
   /// by construction within one nonzero of perfect (compare
   /// partition_imbalance for row partitioning).
   [[nodiscard]] double nnz_imbalance() const;
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override { return threads(); }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  [[nodiscard]] std::unique_ptr<engine::Scratch> make_scratch() const override;
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
 
  private:
   struct Chunk {
@@ -58,10 +68,8 @@ class SegmentedScanSpmv {
 
   CsrMatrix matrix_;
   std::vector<Chunk> chunks_;
-  /// Per-thread partial sums for its first and last row.
-  mutable std::vector<double> head_partial_;
-  mutable std::vector<double> tail_partial_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  engine::ExecutionContext* ctx_ = nullptr;
+  mutable engine::ScratchCache scratch_cache_;
 };
 
 }  // namespace spmv

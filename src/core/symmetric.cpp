@@ -4,8 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/thread_pool.h"
 #include "core/tuner.h"
+#include "engine/execution_context.h"
+#include "engine/reduction.h"
 #include "matrix/coo.h"
 
 namespace spmv {
@@ -26,7 +27,8 @@ bool is_symmetric(const CsrMatrix& a, double tol) {
   return true;
 }
 
-SymmetricSpmv SymmetricSpmv::from_full(const CsrMatrix& a, unsigned threads) {
+SymmetricSpmv SymmetricSpmv::from_full(const CsrMatrix& a, unsigned threads,
+                                       engine::ExecutionContext* ctx) {
   if (threads == 0) {
     throw std::invalid_argument("SymmetricSpmv: zero threads");
   }
@@ -34,6 +36,7 @@ SymmetricSpmv SymmetricSpmv::from_full(const CsrMatrix& a, unsigned threads) {
     throw std::invalid_argument("SymmetricSpmv: matrix is not symmetric");
   }
   SymmetricSpmv s;
+  s.ctx_ = &engine::context_or_global(ctx);
   // Extract diagonal and above.
   CooBuilder b(a.rows(), a.cols());
   const auto rp = a.row_ptr();
@@ -49,11 +52,6 @@ SymmetricSpmv SymmetricSpmv::from_full(const CsrMatrix& a, unsigned threads) {
       static_cast<double>(csr_footprint(s.upper_.nnz(), s.upper_.rows())) /
       static_cast<double>(csr_footprint(a.nnz(), a.rows()));
   s.thread_rows_ = partition_rows_by_nnz(s.upper_, threads);
-  s.private_y_.resize(threads);
-  if (threads > 1) {
-    s.pool_ = std::make_unique<ThreadPool>(threads);
-    for (auto& py : s.private_y_) py.assign(a.rows(), 0.0);
-  }
   return s;
 }
 
@@ -85,6 +83,12 @@ void sweep(const CsrMatrix& upper, std::uint32_t r0, std::uint32_t r1,
 
 }  // namespace
 
+std::unique_ptr<engine::Scratch> SymmetricSpmv::make_scratch() const {
+  if (plan_threads() <= 1) return nullptr;
+  return std::make_unique<engine::PrivateYScratch>(plan_threads(),
+                                                   upper_.rows());
+}
+
 void SymmetricSpmv::multiply(std::span<const double> x,
                              std::span<double> y) const {
   if (x.size() < upper_.cols() || y.size() < upper_.rows()) {
@@ -93,30 +97,29 @@ void SymmetricSpmv::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("SymmetricSpmv::multiply: aliasing");
   }
-  const double* xp = x.data();
-  double* yp = y.data();
+  const engine::ScratchCache::Lease lease = scratch_cache_.borrow(*this);
+  execute(x.data(), y.data(), lease.get());
+}
 
-  if (!pool_) {
-    sweep(upper_, 0, upper_.rows(), xp, yp, yp);
+void SymmetricSpmv::execute(const double* x, double* y,
+                            engine::Scratch* scratch) const {
+  const unsigned threads = plan_threads();
+  if (threads <= 1) {
+    sweep(upper_, 0, upper_.rows(), x, y, y);
     return;
   }
-  const auto threads = static_cast<unsigned>(thread_rows_.size());
-  pool_->run([&](unsigned t) {
-    auto& py = private_y_[t];
-    std::fill(py.begin(), py.end(), 0.0);
-    sweep(upper_, thread_rows_[t].begin, thread_rows_[t].end, xp, py.data(),
-          py.data());
-  });
-  pool_->run([&](unsigned t) {
-    const std::uint64_t r0 =
-        static_cast<std::uint64_t>(upper_.rows()) * t / threads;
-    const std::uint64_t r1 =
-        static_cast<std::uint64_t>(upper_.rows()) * (t + 1) / threads;
-    for (unsigned src = 0; src < threads; ++src) {
-      const double* py = private_y_[src].data();
-      for (std::uint64_t r = r0; r < r1; ++r) yp[r] += py[r];
-    }
-  });
+  auto& s = *static_cast<engine::PrivateYScratch*>(scratch);
+  ctx_->parallel_for(
+      threads,
+      [&](unsigned t) {
+        auto& py = s.private_y[t];
+        std::fill(py.begin(), py.end(), 0.0);
+        sweep(upper_, thread_rows_[t].begin, thread_rows_[t].end, x,
+              py.data(), py.data());
+      },
+      /*pin=*/false);
+  engine::reduce_private_y(*ctx_, threads, upper_.rows(), /*pin=*/false, s,
+                           y);
 }
 
 }  // namespace spmv

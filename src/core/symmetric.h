@@ -11,41 +11,54 @@
 //
 // The transposed contribution scatters into y, so parallel execution uses
 // per-thread private destination vectors with a chunked reduction, like
-// column partitioning.
+// column partitioning.  The private vectors live in per-call engine
+// scratch, so concurrent multiply() calls are safe.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/partition.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
 
-class ThreadPool;
-
 /// Check numeric symmetry (|a_ij - a_ji| <= tol for all entries).
 bool is_symmetric(const CsrMatrix& a, double tol = 0.0);
 
-class SymmetricSpmv {
+class SymmetricSpmv final : public engine::SpmvPlan {
  public:
   /// Build from a full symmetric matrix (validated; throws
-  /// std::invalid_argument if `a` is not square and symmetric).
-  static SymmetricSpmv from_full(const CsrMatrix& a, unsigned threads = 1);
+  /// std::invalid_argument if `a` is not square and symmetric).  The plan
+  /// borrows `ctx`'s worker pool (nullptr: the global context).
+  static SymmetricSpmv from_full(const CsrMatrix& a, unsigned threads = 1,
+                                 engine::ExecutionContext* ctx = nullptr);
 
   SymmetricSpmv(SymmetricSpmv&&) noexcept;
   SymmetricSpmv& operator=(SymmetricSpmv&&) noexcept;
-  ~SymmetricSpmv();
+  ~SymmetricSpmv() override;
 
-  /// y ← y + A·x.
+  /// y ← y + A·x.  Safe for concurrent calls.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return upper_.rows(); }
+  [[nodiscard]] std::uint32_t rows() const override { return upper_.rows(); }
+  [[nodiscard]] std::uint32_t cols() const override { return upper_.cols(); }
   [[nodiscard]] std::uint64_t stored_nnz() const { return upper_.nnz(); }
   /// Stored bytes (upper triangle only) over the full matrix's CSR bytes —
   /// the bandwidth-reduction ratio, ~0.5 + diagonal share.
   [[nodiscard]] double storage_ratio() const { return storage_ratio_; }
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override {
+    return static_cast<unsigned>(thread_rows_.size());
+  }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  [[nodiscard]] std::unique_ptr<engine::Scratch> make_scratch() const override;
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
 
  private:
   SymmetricSpmv() = default;
@@ -53,8 +66,8 @@ class SymmetricSpmv {
   CsrMatrix upper_;  ///< diagonal and above
   double storage_ratio_ = 1.0;
   std::vector<RowRange> thread_rows_;
-  mutable std::vector<std::vector<double>> private_y_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  engine::ExecutionContext* ctx_ = nullptr;
+  mutable engine::ScratchCache scratch_cache_;
 };
 
 }  // namespace spmv

@@ -17,6 +17,12 @@ ThreadPool::ThreadPool(unsigned threads, bool pin) {
   }
 }
 
+void ThreadPool::pin_workers() {
+  for (unsigned tid = 0; tid < workers_.size(); ++tid) {
+    pin_thread(workers_[tid], tid % host_info().logical_cpus);
+  }
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -26,10 +32,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
 void ThreadPool::run(const std::function<void(unsigned)>& task) {
+  run(size(), task);
+}
+
+void ThreadPool::run(unsigned active,
+                     const std::function<void(unsigned)>& task) {
+  if (active > size()) {
+    throw std::invalid_argument(
+        "ThreadPool::run: active exceeds worker count");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   task_ = &task;
-  remaining_ = size();
+  // Completion is gated on the active workers only: a narrow dispatch on a
+  // wide shared pool must not wait for workers that have nothing to run
+  // (they may not even wake before the next dispatch, which is fine — they
+  // observe generations, not tasks).
+  remaining_ = active;
+  active_ = active;
   first_error_ = nullptr;
   ++generation_;
   cv_start_.notify_all();
@@ -39,9 +65,11 @@ void ThreadPool::run(const std::function<void(unsigned)>& task) {
 }
 
 void ThreadPool::worker_loop(unsigned tid) {
+  t_on_pool_worker = true;
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(unsigned)>* task;
+    unsigned active;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_start_.wait(lock, [&] {
@@ -50,7 +78,9 @@ void ThreadPool::worker_loop(unsigned tid) {
       if (shutdown_) return;
       seen_generation = generation_;
       task = task_;
+      active = active_;
     }
+    if (tid >= active) continue;  // not part of this dispatch's barrier
     std::exception_ptr error;
     try {
       (*task)(tid);

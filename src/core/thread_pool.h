@@ -36,6 +36,24 @@ class ThreadPool {
   /// wins) after the barrier completes.
   void run(const std::function<void(unsigned)>& task);
 
+  /// Run `task(tid)` on the first `active` workers only (tid in
+  /// [0, active)); the rest stay out of this dispatch's barrier entirely,
+  /// so a narrow dispatch on a wide shared pool completes without waiting
+  /// for idle workers.  Throws std::invalid_argument when `active` exceeds
+  /// size() — silently skipping iterations would drop row partitions.
+  /// Only one run()/run(active, ...) may be in flight at a time — callers
+  /// that share a pool must serialize dispatches (ExecutionContext does).
+  void run(unsigned active, const std::function<void(unsigned)>& task);
+
+  /// Pin every worker i to logical CPU i modulo the host CPU count, as the
+  /// pinning constructor would have.  Lets a shared pool spawned unpinned
+  /// be upgraded when a plan that wants process affinity first dispatches.
+  void pin_workers();
+
+  /// True when called from inside one of *any* ThreadPool's workers.  Used
+  /// to refuse (or inline) nested dispatches that would deadlock.
+  static bool on_worker_thread();
+
  private:
   void worker_loop(unsigned tid);
 
@@ -46,6 +64,7 @@ class ThreadPool {
   const std::function<void(unsigned)>* task_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned remaining_ = 0;
+  unsigned active_ = 0;  ///< workers with tid < active_ execute the task
   bool shutdown_ = false;
   std::exception_ptr first_error_;
 };

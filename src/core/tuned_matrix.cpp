@@ -7,7 +7,7 @@
 
 #include "core/cache_block.h"
 #include "core/kernels_block.h"
-#include "core/thread_pool.h"
+#include "engine/execution_context.h"
 #include "util/cpu.h"
 #include "util/timer.h"
 
@@ -35,6 +35,7 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
 
   TunedMatrix m;
   m.opt_ = opt;
+  m.ctx_ = &engine::context_or_global(opt.context);
   m.report_.rows = a.rows();
   m.report_.cols = a.cols();
   m.report_.nnz = a.nnz();
@@ -84,11 +85,10 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
                                  pb.decision.idx));
     }
   };
-  if (opt.threads > 1) {
-    m.pool_ = std::make_unique<ThreadPool>(opt.threads, opt.pin_threads);
-  }
-  if (m.pool_ && opt.numa_first_touch) {
-    m.pool_->run(encode_thread);
+  // Encoding borrows the same shared pool multiply() will use, so the
+  // first-touch pages stay with the workers that later stream them.
+  if (opt.threads > 1 && opt.numa_first_touch) {
+    m.ctx_->parallel_for(opt.threads, encode_thread, opt.pin_threads);
   } else {
     for (unsigned t = 0; t < opt.threads; ++t) encode_thread(t);
   }
@@ -157,22 +157,48 @@ void TunedMatrix::multiply(std::span<const double> x,
   if (x.data() == y.data()) {
     throw std::invalid_argument("multiply: x and y must not alias");
   }
-  const double* xp = x.data();
-  double* yp = y.data();
+  execute(x.data(), y.data(), nullptr);
+}
+
+void TunedMatrix::execute(const double* x, double* y,
+                          engine::Scratch* /*scratch*/) const {
   const unsigned pf = opt_.prefetch_distance;
-  if (!pool_) {
+  if (opt_.threads <= 1) {
     for (const auto& thread_blocks : blocks_) {
       for (const EncodedBlock& blk : thread_blocks) {
-        run_block(blk, xp, yp, pf);
+        run_block(blk, x, y, pf);
       }
     }
     return;
   }
-  pool_->run([this, xp, yp, pf](unsigned t) {
-    for (const EncodedBlock& blk : blocks_[t]) {
-      run_block(blk, xp, yp, pf);
-    }
-  });
+  ctx_->parallel_for(
+      opt_.threads,
+      [this, x, y, pf](unsigned t) {
+        for (const EncodedBlock& blk : blocks_[t]) {
+          run_block(blk, x, y, pf);
+        }
+      },
+      opt_.pin_threads);
+}
+
+void TunedMatrix::execute_batch(std::span<const double* const> xs,
+                                std::span<double* const> ys,
+                                engine::Scratch* scratch) const {
+  if (opt_.threads <= 1) {
+    engine::SpmvPlan::execute_batch(xs, ys, scratch);
+    return;
+  }
+  const unsigned pf = opt_.prefetch_distance;
+  ctx_->parallel_for(
+      opt_.threads,
+      [this, xs, ys, pf](unsigned t) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          for (const EncodedBlock& blk : blocks_[t]) {
+            run_block(blk, xs[i], ys[i], pf);
+          }
+        }
+      },
+      opt_.pin_threads);
 }
 
 }  // namespace spmv

@@ -9,8 +9,9 @@
 //      via the one-pass tuner (§4.2);
 //   4. blocks are encoded on their owning worker thread so first-touch
 //      places them NUMA-locally (§4.3).
-// multiply() then runs y ← y + A·x with a persistent pinned thread pool and
-// the specialized kernel for each block (§4.1).
+// multiply() then runs y ← y + A·x on the shared engine pool (borrowed from
+// the plan's ExecutionContext) with the specialized kernel for each block
+// (§4.1).
 #pragma once
 
 #include <memory>
@@ -22,11 +23,10 @@
 #include "core/options.h"
 #include "core/partition.h"
 #include "core/tuner.h"
+#include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
 namespace spmv {
-
-class ThreadPool;
 
 /// Everything the planner decided, for reporting and tests (this is the
 /// data behind the Table 2-style optimization dump).
@@ -64,7 +64,7 @@ struct TuningReport {
   [[nodiscard]] std::string summary() const;
 };
 
-class TunedMatrix {
+class TunedMatrix final : public engine::SpmvPlan {
  public:
   /// Plan and encode `a` under `opt`.  The input CSR can be discarded
   /// afterwards; the TunedMatrix owns all encoded storage.
@@ -74,17 +74,35 @@ class TunedMatrix {
   TunedMatrix& operator=(TunedMatrix&&) noexcept;
   TunedMatrix(const TunedMatrix&) = delete;
   TunedMatrix& operator=(const TunedMatrix&) = delete;
-  ~TunedMatrix();
+  ~TunedMatrix() override;
 
   /// y ← y + A·x.  Throws if spans are too short or alias each other.
-  /// Thread-safe against concurrent multiply() calls only if threads == 1.
+  /// Safe for concurrent calls at any thread count: workers write disjoint
+  /// row ranges and dispatches serialize on the shared ExecutionContext.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const { return report_.rows; }
-  [[nodiscard]] std::uint32_t cols() const { return report_.cols; }
+  [[nodiscard]] std::uint32_t rows() const override { return report_.rows; }
+  [[nodiscard]] std::uint32_t cols() const override { return report_.cols; }
   [[nodiscard]] std::uint64_t nnz() const { return report_.nnz; }
   [[nodiscard]] const TuningReport& report() const { return report_; }
   [[nodiscard]] const TuningOptions& options() const { return opt_; }
+
+  // engine::SpmvPlan
+  [[nodiscard]] unsigned plan_threads() const override {
+    return report_.threads;
+  }
+  [[nodiscard]] engine::ExecutionContext& context() const override {
+    return *ctx_;
+  }
+  void execute(const double* x, double* y,
+               engine::Scratch* scratch) const override;
+  /// Single dispatch for the whole batch: each worker sweeps its blocks
+  /// over every right-hand side, so the barrier cost is paid once.  There
+  /// is no ordering between right-hand sides — no xs[j] may alias any
+  /// ys[i] (the Executor front-end enforces this).
+  void execute_batch(std::span<const double* const> xs,
+                     std::span<double* const> ys,
+                     engine::Scratch* scratch) const override;
 
  private:
   TunedMatrix() = default;
@@ -94,7 +112,7 @@ class TunedMatrix {
   /// blocks_[t] are the encoded cache blocks owned by worker t.
   std::vector<std::vector<EncodedBlock>> blocks_;
   std::vector<RowRange> thread_rows_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  engine::ExecutionContext* ctx_ = nullptr;
 };
 
 }  // namespace spmv

@@ -1,0 +1,100 @@
+// Shared parallel execution context for every SpMV variant (paper §4.3).
+//
+// The paper's library keeps one pinned Pthreads pool alive across the whole
+// tuning-and-multiply lifetime; re-spawning threads per planned matrix (as
+// each variant here once did privately) both wastes startup time and breaks
+// the process-affinity story — two pools pinned to the same CPUs fight each
+// other.  ExecutionContext centralizes that ownership: one lazily grown,
+// optionally pinned ThreadPool that all plans borrow for NUMA first-touch
+// encoding and for every multiply, with concurrent dispatches serialized so
+// multiply() is safe from any number of caller threads.
+//
+// Most code uses the process-wide ExecutionContext::global(); tests and
+// embedders that need isolation construct their own and pass it through
+// TuningOptions::context (or the variant constructors).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/thread_pool.h"
+
+namespace spmv::engine {
+
+struct ExecutionConfig {
+  /// Allow pinning worker i to logical CPU i (process affinity, Table 2).
+  /// false forbids pinning outright; true lets plans request it — the pool
+  /// is pinned from the first pin-requesting dispatch onward (upgrade-only,
+  /// order-independent) — see parallel_for.
+  bool pin_threads = true;
+};
+
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(ExecutionConfig config = {});
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  ~ExecutionContext();
+
+  /// The process-wide context that plans use unless told otherwise.
+  static ExecutionContext& global();
+
+  /// Run `task(t)` for every t in [0, threads) and wait for completion.
+  ///
+  ///  * threads <= 1 runs inline on the caller — serial multiplies never
+  ///    touch the pool or its dispatch lock.
+  ///  * The worker pool is created on first parallel use and grown (never
+  ///    shrunk) when a wider dispatch arrives; existing plans keep working.
+  ///  * `pin` is the dispatching plan's affinity preference (e.g.
+  ///    TuningOptions::pin_threads).  Pinning is upgrade-only and
+  ///    order-independent: the pool becomes (and stays) pinned as soon as
+  ///    any pin-requesting plan dispatches, provided the context's config
+  ///    allows pinning; pin = false never unpins a shared pool.
+  ///  * Concurrent callers serialize on an internal mutex, so any number of
+  ///    host threads may execute plans simultaneously.
+  ///  * Called from inside a pool worker (nested parallelism), the task
+  ///    runs inline serially instead of deadlocking on the dispatch lock.
+  void parallel_for(unsigned threads,
+                    const std::function<void(unsigned)>& task,
+                    bool pin = true);
+
+  /// Current worker count (0 until the first parallel dispatch).
+  [[nodiscard]] unsigned capacity() const;
+
+  /// Completed pool dispatches (inline serial runs are not counted).
+  [[nodiscard]] std::uint64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
+  /// Times a worker pool was created or regrown — the pool-sharing tests
+  /// assert this stays at 1 while many plans execute.
+  [[nodiscard]] std::uint64_t pools_spawned() const {
+    return pools_spawned_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ExecutionConfig& config() const { return config_; }
+
+ private:
+  ExecutionConfig config_;
+  /// Guards pool_ (re)creation and serializes dispatches — ThreadPool::run
+  /// supports one in-flight dispatch.  Per-call correctness under the
+  /// interleaving this allows comes from plans keeping all mutable state in
+  /// caller-owned Scratch (see engine/spmv_plan.h).
+  mutable std::mutex dispatch_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool pinned_ = false;  ///< guarded by dispatch_mutex_; upgrade-only
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> pools_spawned_{0};
+};
+
+/// The context to use: `preferred` when non-null, else the global one.
+inline ExecutionContext& context_or_global(ExecutionContext* preferred) {
+  return preferred != nullptr ? *preferred : ExecutionContext::global();
+}
+
+}  // namespace spmv::engine

@@ -1,0 +1,59 @@
+#include "engine/executor.h"
+
+#include <stdexcept>
+
+namespace spmv::engine {
+
+Executor::Executor(const SpmvPlan& plan)
+    : plan_(&plan), scratch_(plan.make_scratch()) {}
+
+Executor::Executor(Executor&&) noexcept = default;
+Executor& Executor::operator=(Executor&&) noexcept = default;
+Executor::~Executor() = default;
+
+namespace {
+
+void validate_pair(const SpmvPlan& plan, std::span<const double> x,
+                   std::span<double> y) {
+  if (x.size() < plan.x_elements() || y.size() < plan.y_elements()) {
+    throw std::invalid_argument("Executor: operand too short");
+  }
+  if (x.data() == y.data()) {
+    throw std::invalid_argument("Executor: x and y must not alias");
+  }
+}
+
+}  // namespace
+
+void Executor::multiply(std::span<const double> x, std::span<double> y) {
+  validate_pair(*plan_, x, y);
+  plan_->execute(x.data(), y.data(), scratch_.get());
+}
+
+void Executor::multiply_batch(std::span<const double* const> xs,
+                              std::span<double* const> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("Executor: batch size mismatch");
+  }
+  // Bare pointers carry no length, so only null/aliasing are checkable
+  // here; the caller guarantees x_elements()/y_elements() valid elements
+  // per pointer (see the header contract).  Aliasing is checked across the
+  // whole batch, not just pairwise: the single-dispatch batch path runs
+  // all right-hand sides with no barrier between them, so a chained batch
+  // (xs[j] == ys[i], "use this y as the next x") would race.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == nullptr || ys[i] == nullptr) {
+      throw std::invalid_argument("Executor: null operand in batch");
+    }
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (xs[i] == ys[j]) {
+        throw std::invalid_argument(
+            "Executor: batch operands alias (xs/ys must be disjoint; chain "
+            "dependent multiplies through multiply() instead)");
+      }
+    }
+  }
+  plan_->execute_batch(xs, ys, scratch_.get());
+}
+
+}  // namespace spmv::engine

@@ -1,0 +1,51 @@
+// Executor: a per-caller handle that runs a SpmvPlan.
+//
+// The plan is shared and immutable; the Executor owns the per-call scratch
+// and performs operand validation, so a server gives each worker thread its
+// own (cheap) Executor over the one planned matrix.  multiply_batch() is
+// the server-side amortization lever: one dispatch/barrier pays for many
+// right-hand sides instead of one (see bench/bench_engine_batch.cpp for
+// the measured effect).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "engine/spmv_plan.h"
+
+namespace spmv::engine {
+
+class Executor {
+ public:
+  /// Borrow `plan` (it must outlive the Executor) and allocate its scratch.
+  explicit Executor(const SpmvPlan& plan);
+
+  Executor(Executor&&) noexcept;
+  Executor& operator=(Executor&&) noexcept;
+  ~Executor();
+
+  /// y ← y + A·x.  Throws std::invalid_argument on short or aliasing
+  /// operands.  Safe to call concurrently with other Executors over the
+  /// same plan; a single Executor is not itself thread-safe (it owns one
+  /// scratch).
+  void multiply(std::span<const double> x, std::span<double> y);
+
+  /// ys[i] ← ys[i] + A·xs[i] for all i.  xs and ys must be the same
+  /// length; each pointer must be non-null and reference at least
+  /// x_elements()/y_elements() valid elements — lengths cannot be checked
+  /// from bare pointers, unlike multiply()'s spans.  No xs pointer may
+  /// equal any ys pointer (checked): the batch executes with no ordering
+  /// between right-hand sides, so chained batches are rejected — express
+  /// dependent multiplies as successive multiply() calls.  Uses the plan's
+  /// batched execution path (single dispatch per batch where available).
+  void multiply_batch(std::span<const double* const> xs,
+                      std::span<double* const> ys);
+
+  [[nodiscard]] const SpmvPlan& plan() const { return *plan_; }
+
+ private:
+  const SpmvPlan* plan_;
+  std::unique_ptr<Scratch> scratch_;
+};
+
+}  // namespace spmv::engine

@@ -1,0 +1,66 @@
+#include "engine/spmv_plan.h"
+
+#include "engine/execution_context.h"
+
+namespace spmv::engine {
+
+Scratch::~Scratch() = default;
+
+SpmvPlan::~SpmvPlan() = default;
+
+std::uint64_t SpmvPlan::x_elements() const { return cols(); }
+
+std::uint64_t SpmvPlan::y_elements() const { return rows(); }
+
+ExecutionContext& SpmvPlan::context() const {
+  return ExecutionContext::global();
+}
+
+std::unique_ptr<Scratch> SpmvPlan::make_scratch() const { return nullptr; }
+
+void SpmvPlan::execute_batch(std::span<const double* const> xs,
+                             std::span<double* const> ys,
+                             Scratch* scratch) const {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    execute(xs[i], ys[i], scratch);
+  }
+}
+
+ScratchCache::ScratchCache() : state_(std::make_unique<State>()) {}
+ScratchCache::ScratchCache(ScratchCache&&) noexcept = default;
+ScratchCache& ScratchCache::operator=(ScratchCache&&) noexcept = default;
+ScratchCache::~ScratchCache() = default;
+
+ScratchCache::Lease::Lease(ScratchCache* cache,
+                           std::unique_ptr<Scratch> scratch)
+    : cache_(cache), scratch_(std::move(scratch)) {}
+
+ScratchCache::Lease::Lease(Lease&& other) noexcept
+    : cache_(other.cache_), scratch_(std::move(other.scratch_)) {
+  other.cache_ = nullptr;
+}
+
+ScratchCache::Lease::~Lease() {
+  if (cache_ != nullptr && scratch_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cache_->state_->mutex);
+    if (cache_->state_->free_list.size() < kMaxCached) {
+      cache_->state_->free_list.push_back(std::move(scratch_));
+    }
+    // else: drop it — a burst of concurrent calls must not pin its peak
+    // scratch memory for the plan's lifetime.
+  }
+}
+
+ScratchCache::Lease ScratchCache::borrow(const SpmvPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->free_list.empty()) {
+      std::unique_ptr<Scratch> s = std::move(state_->free_list.back());
+      state_->free_list.pop_back();
+      return Lease(this, std::move(s));
+    }
+  }
+  return Lease(this, plan.make_scratch());
+}
+
+}  // namespace spmv::engine

@@ -1,0 +1,125 @@
+// Plan/executor split: immutable planned state vs per-call scratch.
+//
+// Planning (partitioning, blocking, encoding) is expensive and happens
+// once; execution happens millions of times, possibly from many server
+// threads at once.  The engine therefore separates the two:
+//
+//   * SpmvPlan is the immutable product of planning.  execute() is const
+//     and touches no plan state besides reading it — every mutable byte a
+//     call needs (private destination vectors, carry slots, DMA staging
+//     buffers) lives in a Scratch object the caller owns.
+//   * Scratch is the per-call state.  Two concurrent execute() calls with
+//     distinct Scratch objects are data-race free and produce bit-identical
+//     results to back-to-back serial calls.
+//
+// All six parallel variants and both baselines implement this interface,
+// so servers, benches, and the Executor batch front-end treat them
+// uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace spmv::engine {
+
+class ExecutionContext;
+
+/// Base class for a plan's per-call mutable state.  Plans that need none
+/// (disjoint-row-write variants like the tuned matrix) use no scratch at
+/// all and make_scratch() returns nullptr.
+class Scratch {
+ public:
+  virtual ~Scratch();
+};
+
+class SpmvPlan {
+ public:
+  virtual ~SpmvPlan();
+
+  /// Logical operator shape.
+  [[nodiscard]] virtual std::uint32_t rows() const = 0;
+  [[nodiscard]] virtual std::uint32_t cols() const = 0;
+
+  /// Elements execute() reads from x / accumulates into y.  Defaults to
+  /// cols()/rows(); the multi-vector plan multiplies both by k.
+  [[nodiscard]] virtual std::uint64_t x_elements() const;
+  [[nodiscard]] virtual std::uint64_t y_elements() const;
+
+  /// Worker count the plan was partitioned for (1 = serial execution).
+  [[nodiscard]] virtual unsigned plan_threads() const = 0;
+
+  /// The execution context this plan dispatches on (never null; defaults
+  /// to ExecutionContext::global() unless the plan was built with one).
+  [[nodiscard]] virtual ExecutionContext& context() const;
+
+  /// Allocate the scratch one concurrent execute() call needs, or nullptr
+  /// when the plan is scratch-free.
+  [[nodiscard]] virtual std::unique_ptr<Scratch> make_scratch() const;
+
+  /// y ← y + A·x.  `x`/`y` must have x_elements()/y_elements() valid
+  /// elements and not alias.  `scratch` must come from this plan's
+  /// make_scratch() (nullptr allowed iff make_scratch() returns nullptr)
+  /// and must not be shared between concurrent calls.  Must not be invoked
+  /// from inside a pool worker of the plan's own context.
+  virtual void execute(const double* x, double* y, Scratch* scratch) const = 0;
+
+  /// ys[i] ← ys[i] + A·xs[i] for every i.  The default loops over
+  /// execute(); plans whose workers write disjoint y rows override it with
+  /// a single dispatch that sweeps all right-hand sides per worker,
+  /// amortizing the dispatch/barrier cost across the batch.
+  virtual void execute_batch(std::span<const double* const> xs,
+                             std::span<double* const> ys,
+                             Scratch* scratch) const;
+};
+
+/// A small free-list of Scratch objects so a plan's own multiply() stays
+/// allocation-free in steady state while remaining safe for concurrent
+/// callers: each call borrows a scratch (allocating only when all are in
+/// flight) and returns it when done.  The free list is capped — scratches
+/// returned beyond the cap are freed, so a transient burst of concurrent
+/// calls does not pin peak-concurrency memory for the plan's lifetime.
+/// Movable so the value-type plan classes that embed it stay movable.
+class ScratchCache {
+ public:
+  ScratchCache();
+  ScratchCache(ScratchCache&&) noexcept;
+  ScratchCache& operator=(ScratchCache&&) noexcept;
+  ~ScratchCache();
+
+  class Lease {
+   public:
+    Lease(ScratchCache* cache, std::unique_ptr<Scratch> scratch);
+    Lease(Lease&&) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();  ///< returns the scratch to the cache
+
+    [[nodiscard]] Scratch* get() const { return scratch_.get(); }
+
+   private:
+    ScratchCache* cache_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
+  /// Borrow a cached scratch, or make a fresh one via `plan.make_scratch()`.
+  [[nodiscard]] Lease borrow(const SpmvPlan& plan);
+
+ private:
+  /// At most this many scratches cached when idle; excess returns are
+  /// freed.  Kept tiny because one scratch can be plan_threads × rows
+  /// doubles for the reduction-based variants — the steady serial caller
+  /// needs 1, a modestly concurrent one reuses 2, bursts re-allocate.
+  static constexpr std::size_t kMaxCached = 2;
+
+  struct State {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Scratch>> free_list;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace spmv::engine

@@ -5,16 +5,26 @@
 // Matrix substrate:   spmv::CooBuilder, spmv::CsrMatrix, Matrix Market I/O,
 //                     structure statistics, DIA formats, RCM reordering.
 // Tuned SpMV:         spmv::TuningOptions, spmv::TunedMatrix (plan/multiply).
+// Execution engine:   spmv::engine::ExecutionContext (the process-wide
+//                     shared worker pool every variant borrows),
+//                     spmv::engine::SpmvPlan (immutable plan + per-call
+//                     Scratch: concurrent-safe execution), and
+//                     spmv::engine::Executor (per-caller handle with
+//                     multiply() and batched multiply_batch()).
 // Parallel variants:  spmv::SegmentedScanSpmv, spmv::ColumnPartitionedSpmv,
 //                     spmv::SymmetricSpmv, spmv::MultiVectorSpmv,
-//                     spmv::LocalStoreSpmv.
+//                     spmv::LocalStoreSpmv — all engine::SpmvPlan
+//                     implementations on the shared pool.
 // Baselines:          spmv::baseline::OskiLikeMatrix,
-//                     spmv::baseline::PetscLikeSpmv.
+//                     spmv::baseline::PetscLikeSpmv (also engine plans).
 // Machine model:      spmv::model::Machine, predict(), power efficiency.
 #pragma once
 
 #include "baseline/oski_like.h"
 #include "baseline/petsc_like.h"
+#include "engine/execution_context.h"
+#include "engine/executor.h"
+#include "engine/spmv_plan.h"
 #include "core/column_partition.h"
 #include "core/kernels_csr.h"
 #include "core/local_store.h"

@@ -37,6 +37,9 @@ class Table {
   [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const {
     return rows_[r][c];
   }
+  [[nodiscard]] const std::string& header(std::size_t c) const {
+    return headers_[c];
+  }
 
  private:
   std::vector<std::string> headers_;

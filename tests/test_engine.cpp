@@ -1,0 +1,331 @@
+// Tests for the shared execution engine: concurrent multiply() safety on
+// one planned matrix (results bit-identical to serial), pool sharing
+// across plans on one ExecutionContext, Executor batch equivalence, and
+// DMA-stats accounting under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "baseline/oski_like.h"
+#include "baseline/petsc_like.h"
+#include "core/column_partition.h"
+#include "core/local_store.h"
+#include "core/multivector.h"
+#include "core/segmented_scan.h"
+#include "core/symmetric.h"
+#include "core/tuned_matrix.h"
+#include "core/kernels_csr.h"
+#include "engine/execution_context.h"
+#include "engine/executor.h"
+#include "gen/generators.h"
+#include "util/prng.h"
+
+namespace spmv {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Prng rng(seed);
+  for (double& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+using MultiplyFn =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Hammer `mult` from several host threads at once; every call must give
+/// exactly (bitwise) the y a single serial call gives — per-call scratch
+/// and serialized pool dispatch make the summation order deterministic.
+void expect_concurrent_bit_identical(const MultiplyFn& mult,
+                                     std::size_t x_len, std::size_t y_len,
+                                     std::uint64_t seed) {
+  const std::vector<double> x = random_vector(x_len, seed);
+  std::vector<double> serial(y_len, 0.5);
+  mult(x, serial);
+
+  constexpr int kHostThreads = 4;
+  constexpr int kReps = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kHostThreads);
+  for (int h = 0; h < kHostThreads; ++h) {
+    callers.emplace_back([&] {
+      std::vector<double> y;
+      for (int rep = 0; rep < kReps; ++rep) {
+        y.assign(y_len, 0.5);
+        mult(x, y);
+        if (y != serial) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineConcurrency, TunedMatrixConcurrentMultiply) {
+  const CsrMatrix m = gen::fem_like(300, 3, 9.0, 50, 3);
+  TuningOptions opt = TuningOptions::full(4);
+  opt.tune_prefetch = false;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { tuned.multiply(x, y); }, m.cols(), m.rows(), 21);
+}
+
+TEST(EngineConcurrency, SegmentedScanConcurrentMultiply) {
+  const CsrMatrix m = gen::uniform_random(900, 850, 7.0, 5);
+  const SegmentedScanSpmv ss(m, 4);
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { ss.multiply(x, y); }, m.cols(), m.rows(), 22);
+}
+
+TEST(EngineConcurrency, ColumnPartitionConcurrentMultiply) {
+  const CsrMatrix m = gen::uniform_random(700, 900, 6.0, 6);
+  TuningOptions opt = TuningOptions::full(4);
+  opt.tune_prefetch = false;
+  const ColumnPartitionedSpmv cp = ColumnPartitionedSpmv::plan(m, opt);
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { cp.multiply(x, y); }, m.cols(), m.rows(), 23);
+}
+
+TEST(EngineConcurrency, SymmetricConcurrentMultiply) {
+  const CsrMatrix m = gen::fem_like(250, 2, 8.0, 40, 7);
+  const SymmetricSpmv sym = SymmetricSpmv::from_full(m, 4);
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { sym.multiply(x, y); }, m.cols(), m.rows(), 24);
+}
+
+TEST(EngineConcurrency, MultiVectorConcurrentMultiply) {
+  const CsrMatrix m = gen::banded(600, 5, 0.5, 8);
+  const unsigned k = 4;
+  const MultiVectorSpmv mv(m, k, 4);
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { mv.multiply(x, y); },
+      static_cast<std::size_t>(m.cols()) * k,
+      static_cast<std::size_t>(m.rows()) * k, 25);
+}
+
+TEST(EngineConcurrency, LocalStoreConcurrentMultiplyAndStats) {
+  const CsrMatrix m = gen::uniform_random(1200, 1200, 8.0, 9);
+  LocalStoreParams p;
+  p.spes = 2;
+  p.local_store_bytes = 64 * 1024;
+  p.dma_chunk_bytes = 4 * 1024;
+  const LocalStoreSpmv ls = LocalStoreSpmv::plan(m, p);
+  const auto warm_x = random_vector(m.cols(), 1);
+  std::vector<double> warm_y(m.rows(), 0.0);
+  ls.multiply(warm_x, warm_y);
+  // The per-call staging buffers were the seed's data race: mutable
+  // Spe/DmaStats members written from const multiply().  Now every call
+  // owns its scratch and merges stats once, so totals stay exact.
+  const_cast<LocalStoreSpmv&>(ls).reset_stats();
+
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { ls.multiply(x, y); }, m.cols(), m.rows(), 26);
+
+  // 1 serial + 4 threads x 8 reps in the helper = 33 sweeps, each staging
+  // exactly 10 bytes per stored nonzero.
+  EXPECT_EQ(ls.stats().matrix_bytes, 33u * m.nnz() * 10u);
+}
+
+TEST(EngineConcurrency, PetscLikeConcurrentMultiply) {
+  const CsrMatrix m = gen::uniform_random(800, 800, 6.0, 10);
+  const baseline::PetscLikeSpmv dist = baseline::PetscLikeSpmv::distribute(
+      m, 4, baseline::RegisterProfile::typical());
+  expect_concurrent_bit_identical(
+      [&](auto x, auto y) { dist.multiply(x, y); }, m.cols(), m.rows(), 27);
+}
+
+TEST(EnginePoolSharing, TwoPlansOneContextSpawnOnePool) {
+  engine::ExecutionContext ctx({.pin_threads = false});
+  const CsrMatrix a = gen::fem_like(200, 3, 8.0, 30, 11);
+  const CsrMatrix b = gen::banded(900, 4, 0.6, 12);
+
+  TuningOptions wide = TuningOptions::full(4);
+  wide.tune_prefetch = false;
+  wide.pin_threads = false;
+  wide.context = &ctx;
+  const TunedMatrix ta = TunedMatrix::plan(a, wide);
+
+  TuningOptions narrow = TuningOptions::full(2);
+  narrow.tune_prefetch = false;
+  narrow.pin_threads = false;
+  narrow.context = &ctx;
+  const TunedMatrix tb = TunedMatrix::plan(b, narrow);
+
+  // NUMA first-touch encoding already ran on the shared pool.
+  EXPECT_EQ(ctx.pools_spawned(), 1u);
+  EXPECT_EQ(ctx.capacity(), 4u);
+
+  const auto xa = random_vector(a.cols(), 41);
+  const auto xb = random_vector(b.cols(), 42);
+  std::vector<double> ya(a.rows(), 0.0), yb(b.rows(), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    ta.multiply(xa, ya);
+    tb.multiply(xb, yb);
+  }
+  // Still the same workers: plans borrow, they never own.
+  EXPECT_EQ(ctx.pools_spawned(), 1u);
+  EXPECT_EQ(ctx.capacity(), 4u);
+  EXPECT_GE(ctx.dispatches(), 20u);
+
+  // A third plan family on the same context keeps sharing.
+  const SegmentedScanSpmv ss(b, 4, &ctx);
+  ss.multiply(xb, yb);
+  EXPECT_EQ(ctx.pools_spawned(), 1u);
+}
+
+TEST(EnginePoolSharing, SerialPlansNeverSpawnWorkers) {
+  engine::ExecutionContext ctx({.pin_threads = false});
+  const CsrMatrix m = gen::dense(64);
+  TuningOptions opt = TuningOptions::naive();
+  opt.context = &ctx;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  const auto x = random_vector(m.cols(), 51);
+  std::vector<double> y(m.rows(), 0.0);
+  tuned.multiply(x, y);
+  EXPECT_EQ(ctx.capacity(), 0u);
+  EXPECT_EQ(ctx.pools_spawned(), 0u);
+}
+
+TEST(EnginePoolSharing, PoolGrowsForWiderPlan) {
+  engine::ExecutionContext ctx({.pin_threads = false});
+  const CsrMatrix m = gen::banded(500, 3, 0.5, 13);
+  const SegmentedScanSpmv narrow(m, 2, &ctx);
+  const auto x = random_vector(m.cols(), 52);
+  std::vector<double> y(m.rows(), 0.0);
+  narrow.multiply(x, y);
+  EXPECT_EQ(ctx.capacity(), 2u);
+  const SegmentedScanSpmv wide(m, 6, &ctx);
+  wide.multiply(x, y);
+  EXPECT_EQ(ctx.capacity(), 6u);
+  EXPECT_EQ(ctx.pools_spawned(), 2u);
+  // The narrow plan keeps working on the regrown pool.
+  narrow.multiply(x, y);
+  EXPECT_EQ(ctx.capacity(), 6u);
+}
+
+TEST(EngineExecutor, BatchMatchesLoopedMultiply) {
+  const CsrMatrix m = gen::fem_like(280, 3, 9.0, 45, 14);
+  TuningOptions opt = TuningOptions::full(4);
+  opt.tune_prefetch = false;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+
+  constexpr std::size_t kBatch = 8;
+  std::vector<std::vector<double>> xs_store, loop_ys, batch_ys;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    xs_store.push_back(random_vector(m.cols(), 60 + i));
+    loop_ys.emplace_back(m.rows(), 0.25);
+    batch_ys.emplace_back(m.rows(), 0.25);
+  }
+
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    tuned.multiply(xs_store[i], loop_ys[i]);
+  }
+
+  std::vector<const double*> xs;
+  std::vector<double*> ys;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    xs.push_back(xs_store[i].data());
+    ys.push_back(batch_ys[i].data());
+  }
+  engine::Executor exec(tuned);
+  exec.multiply_batch(xs, ys);
+
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(batch_ys[i], loop_ys[i]) << "rhs " << i;
+  }
+}
+
+TEST(EngineExecutor, BatchOnSerialBaselineMatchesLoop) {
+  const CsrMatrix m = gen::uniform_random(400, 380, 6.0, 15);
+  const baseline::OskiLikeMatrix oski =
+      baseline::OskiLikeMatrix::tune(m, baseline::RegisterProfile::typical());
+
+  constexpr std::size_t kBatch = 4;
+  std::vector<std::vector<double>> xs_store, loop_ys, batch_ys;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    xs_store.push_back(random_vector(m.cols(), 70 + i));
+    loop_ys.emplace_back(m.rows(), 0.0);
+    batch_ys.emplace_back(m.rows(), 0.0);
+  }
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    oski.multiply(xs_store[i], loop_ys[i]);
+  }
+  std::vector<const double*> xs;
+  std::vector<double*> ys;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    xs.push_back(xs_store[i].data());
+    ys.push_back(batch_ys[i].data());
+  }
+  engine::Executor exec(oski);
+  exec.multiply_batch(xs, ys);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(batch_ys[i], loop_ys[i]) << "rhs " << i;
+  }
+}
+
+TEST(EngineExecutor, ExecutorRunsEveryPlanFamily) {
+  const CsrMatrix m = gen::fem_like(150, 2, 8.0, 30, 16);
+  const auto x = random_vector(m.cols(), 80);
+  std::vector<double> expected(m.rows(), 0.0);
+  spmv_reference(m, x, expected);
+
+  TuningOptions opt = TuningOptions::full(3);
+  opt.tune_prefetch = false;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  const SegmentedScanSpmv ss(m, 3);
+  const ColumnPartitionedSpmv cp = ColumnPartitionedSpmv::plan(m, opt);
+  const MultiVectorSpmv mv(m, 1, 3);
+  LocalStoreParams lsp;
+  lsp.spes = 3;
+  lsp.local_store_bytes = 32 * 1024;
+  const LocalStoreSpmv ls = LocalStoreSpmv::plan(m, lsp);
+  const baseline::PetscLikeSpmv dist = baseline::PetscLikeSpmv::distribute(
+      m, 3, baseline::RegisterProfile::typical());
+
+  const engine::SpmvPlan* plans[] = {&tuned, &ss, &cp, &mv, &ls, &dist};
+  for (const engine::SpmvPlan* plan : plans) {
+    engine::Executor exec(*plan);
+    std::vector<double> y(m.rows(), 0.0);
+    exec.multiply(x, y);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(expected[i], y[i], 1e-11) << "row " << i;
+    }
+  }
+}
+
+TEST(EngineExecutor, ValidatesOperands) {
+  const CsrMatrix m = gen::dense(8);
+  TuningOptions opt = TuningOptions::naive();
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  engine::Executor exec(tuned);
+  std::vector<double> x(7), y(8);
+  EXPECT_THROW(exec.multiply(x, y), std::invalid_argument);
+  std::vector<double> ok(8, 1.0);
+  EXPECT_THROW(exec.multiply(ok, std::span<double>(ok)),
+               std::invalid_argument);
+  std::vector<const double*> xs = {ok.data()};
+  std::vector<double*> ys;
+  EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
+}
+
+TEST(EngineExecutor, RejectsChainedBatch) {
+  // The batch path has no ordering between right-hand sides, so a chained
+  // batch (one pair's y feeding another pair's x) must be rejected rather
+  // than raced.
+  const CsrMatrix m = gen::dense(16);
+  TuningOptions opt = TuningOptions::full(2);
+  opt.tune_prefetch = false;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  engine::Executor exec(tuned);
+  std::vector<double> x(16, 1.0), mid(16, 0.0), z(16, 0.0);
+  std::vector<const double*> xs = {x.data(), mid.data()};
+  std::vector<double*> ys = {mid.data(), z.data()};  // ys[0] == xs[1]
+  EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spmv

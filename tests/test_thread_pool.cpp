@@ -78,6 +78,27 @@ TEST(ThreadPool, ParallelSumIsCorrect) {
                    static_cast<double>(kN));
 }
 
+TEST(ThreadPool, PartialWidthRunHitsOnlyActiveTids) {
+  // A wide shared pool serving a narrower plan: tids >= active skip the
+  // task but still join the barrier.
+  ThreadPool pool(6);
+  std::vector<std::atomic<int>> hits(6);
+  pool.run(2, [&](unsigned tid) { hits[tid].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  for (std::size_t t = 2; t < 6; ++t) EXPECT_EQ(hits[t].load(), 0);
+}
+
+TEST(ThreadPool, WorkerThreadDetection) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);
+  std::atomic<int> on_worker{0};
+  pool.run([&](unsigned) {
+    if (ThreadPool::on_worker_thread()) on_worker.fetch_add(1);
+  });
+  EXPECT_EQ(on_worker.load(), 2);
+}
+
 TEST(ThreadPool, PinnedPoolStillWorks) {
   // Pinning may fail on constrained hosts; the pool must work regardless.
   ThreadPool pool(2, /*pin=*/true);
