@@ -187,7 +187,7 @@ inline void print_host_banner() {
   const HostInfo& h = host_info();
   std::cout << "# host: " << (h.vendor.empty() ? "unknown CPU" : h.vendor)
             << ", " << h.logical_cpus << " logical CPU(s)"
-            << (h.has_avx2 ? ", AVX2" : "")
+            << (h.has_avx2 ? ", AVX2" : "") << (h.has_fma ? ", FMA" : "")
             << (h.has_avx512f ? ", AVX-512" : "") << "\n";
 }
 

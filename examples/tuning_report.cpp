@@ -51,13 +51,14 @@ int main(int argc, char** argv) {
   }
   levels.push_back({"+CB (cache & TLB blocking)", TuningOptions::full(1)});
 
-  Table t({"configuration", "cache blocks", "BCOO", "idx16", "fill",
+  Table t({"configuration", "cache blocks", "BCOO", "idx16", "simd", "fill",
            "MiB", "vs CSR"});
   for (const Level& level : levels) {
     const TunedMatrix tuned = TunedMatrix::plan(m, level.opt);
     const TuningReport& r = tuned.report();
     t.add_row({level.label, std::to_string(r.cache_blocks),
                std::to_string(r.blocks_bcoo), std::to_string(r.blocks_idx16),
+               std::to_string(r.blocks_simd),
                Table::fmt(r.fill_ratio, 2),
                Table::fmt(static_cast<double>(r.tuned_bytes) / (1 << 20), 2),
                Table::fmt(100.0 * r.compression_ratio(), 0) + "%"});
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
     std::string key = std::to_string(b.decision.br) + "x" +
                       std::to_string(b.decision.bc) + " " +
                       to_string(b.decision.fmt) + " " +
-                      to_string(b.decision.idx);
+                      to_string(b.decision.idx) + " " +
+                      to_string(b.decision.backend);
     shape_nnz[key] += b.decision.nnz;
   }
   std::cout << "\nper-block encoding mix (by nnz):\n";

@@ -5,6 +5,7 @@
 
 #include "core/encode.h"
 #include "core/kernels_block.h"
+#include "core/kernels_simd.h"
 #include "core/tuner.h"
 #include "engine/execution_context.h"
 #include "engine/reduction.h"
@@ -21,6 +22,8 @@ ColumnPartitionedSpmv ColumnPartitionedSpmv::plan(const CsrMatrix& a,
   s.cols_ = a.cols();
   s.prefetch_ = opt.prefetch_distance;
   s.pin_threads_ = opt.pin_threads;
+  s.backend_ = resolve_kernel_backend(opt.backend);
+  s.wait_mode_ = opt.wait_mode;
   s.ctx_ = &engine::context_or_global(opt.context);
 
   // Column nonzero histogram -> nnz-balanced stripe boundaries.
@@ -85,7 +88,7 @@ void ColumnPartitionedSpmv::execute(const double* x, double* y,
   if (threads <= 1) {
     for (const Stripe& stripe : stripes_) {
       for (const EncodedBlock& blk : stripe.blocks) {
-        run_block(blk, x, y, prefetch_);
+        run_block(blk, x, y, prefetch_, backend_);
       }
     }
     return;
@@ -100,11 +103,12 @@ void ColumnPartitionedSpmv::execute(const double* x, double* y,
         auto& py = s.private_y[t];
         std::fill(py.begin(), py.end(), 0.0);
         for (const EncodedBlock& blk : stripes_[t].blocks) {
-          run_block(blk, x, py.data(), prefetch_);
+          run_block(blk, x, py.data(), prefetch_, backend_);
         }
       },
-      pin_threads_);
-  engine::reduce_private_y(*ctx_, threads, rows_, pin_threads_, s, y);
+      pin_threads_, wait_mode_);
+  engine::reduce_private_y(*ctx_, threads, rows_, pin_threads_, s, y,
+                           wait_mode_);
 }
 
 }  // namespace spmv

@@ -2,18 +2,11 @@
 
 #include <stdexcept>
 
+#include "core/kernels_simd.h"
+
 namespace spmv {
 
 namespace {
-
-// Power-of-two tile dims up to 4×4, as in the paper (§4.2: "we limit
-// ourselves to power-of-two block sizes up to 4×4, to enable SIMDization
-// and minimize register pressure").
-constexpr unsigned kDims[] = {1, 2, 4};
-
-constexpr int dim_slot(unsigned d) {
-  return d == 1 ? 0 : d == 2 ? 1 : d == 4 ? 2 : -1;
-}
 
 template <unsigned R, unsigned C>
 BlockKernelFn pick(BlockFormat fmt, IndexWidth idx) {
@@ -35,13 +28,8 @@ BlockKernelFn pick_c(unsigned bc, BlockFormat fmt, IndexWidth idx) {
   }
 }
 
-}  // namespace
-
-BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
-                           unsigned bc) {
-  if (dim_slot(br) < 0 || dim_slot(bc) < 0) {
-    throw std::out_of_range("block_kernel: unsupported tile shape");
-  }
+BlockKernelFn scalar_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
+                            unsigned bc) {
   switch (br) {
     case 1: return pick_c<1>(bc, fmt, idx);
     case 2: return pick_c<2>(bc, fmt, idx);
@@ -50,9 +38,38 @@ BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
   }
 }
 
+KernelBackend next_narrower(KernelBackend backend) {
+  return backend == KernelBackend::kAvx512 ? KernelBackend::kAvx2
+                                           : KernelBackend::kScalar;
+}
+
+}  // namespace
+
+KernelBackend block_kernel_backend(BlockFormat fmt, IndexWidth idx,
+                                   unsigned br, unsigned bc,
+                                   KernelBackend backend) {
+  if (detail::tile_dim_slot(br) < 0 || detail::tile_dim_slot(bc) < 0) {
+    throw std::out_of_range("block_kernel: unsupported tile shape");
+  }
+  for (KernelBackend be = resolve_kernel_backend(backend);
+       be != KernelBackend::kScalar; be = next_narrower(be)) {
+    if (simd_block_kernel(be, fmt, idx, br, bc) != nullptr) return be;
+  }
+  return KernelBackend::kScalar;
+}
+
+BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
+                           unsigned bc, KernelBackend backend) {
+  const KernelBackend be =
+      block_kernel_backend(fmt, idx, br, bc, backend);  // validates shape
+  return be == KernelBackend::kScalar
+             ? scalar_kernel(fmt, idx, br, bc)
+             : simd_block_kernel(be, fmt, idx, br, bc);
+}
+
 void run_block(const EncodedBlock& b, const double* x, double* y,
-               unsigned prefetch_distance) {
-  block_kernel(b.fmt, b.idx, b.br, b.bc)(b, x, y, prefetch_distance);
+               unsigned prefetch_distance, KernelBackend backend) {
+  block_kernel(b.fmt, b.idx, b.br, b.bc, backend)(b, x, y, prefetch_distance);
 }
 
 }  // namespace spmv

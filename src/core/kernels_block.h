@@ -1,10 +1,15 @@
-// Register-blocked SpMV kernels.
+// Register-blocked SpMV kernels — the portable scalar reference set.
 //
 // The paper generated these with a Perl script over {format} × {r × c} ×
 // {index width}; here the generator is the C++ template machinery.  Each
 // instantiation has fully unrolled r×c tile arithmetic (enabling SIMD
 // autovectorization), a single streaming cursor over the tile arrays, and
 // optional software prefetch of values and indices.
+//
+// Hand-vectorized backends live in core/kernels_simd.* and are selected at
+// runtime through the KernelBackend parameter of block_kernel(): the
+// scalar templates below stay the semantics reference every backend must
+// reproduce bit-for-bit (same accumulation order, no FMA contraction).
 //
 // Boundary contract (established by the encoder, see encode.cpp):
 //  * column offsets satisfy col0 + cols[t] + C <= matrix cols, so gathers
@@ -19,11 +24,8 @@
 #include <algorithm>
 #include <cstdint>
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 #include "core/blocked.h"
+#include "core/options.h"
 
 namespace spmv {
 
@@ -32,16 +34,37 @@ namespace spmv {
 using BlockKernelFn = void (*)(const EncodedBlock&, const double* x,
                                double* y, unsigned prefetch_distance);
 
-/// Look up the specialized kernel for a block's (fmt, idx, br, bc).
+/// Look up the kernel for a block's (fmt, idx, br, bc) under `backend`.
+/// kAuto resolves to the widest backend the host supports; a backend the
+/// host lacks, or that has no specialization for this tile shape, degrades
+/// gracefully (kAvx512 → kAvx2 → kScalar).  The scalar kernel always
+/// exists, so a valid shape never fails to dispatch.
 /// Throws std::out_of_range for unsupported tile shapes.
 BlockKernelFn block_kernel(BlockFormat fmt, IndexWidth idx, unsigned br,
-                           unsigned bc);
+                           unsigned bc,
+                           KernelBackend backend = KernelBackend::kScalar);
+
+/// The backend block_kernel() would actually dispatch to for this shape
+/// under `backend` — i.e. the request after host-capability resolution and
+/// per-shape fallback.  This is what plans record per block so Table-2
+/// style dumps show which blocks run SIMD.
+KernelBackend block_kernel_backend(BlockFormat fmt, IndexWidth idx,
+                                   unsigned br, unsigned bc,
+                                   KernelBackend backend);
 
 /// Convenience: run the right kernel for `b`.
 void run_block(const EncodedBlock& b, const double* x, double* y,
-               unsigned prefetch_distance);
+               unsigned prefetch_distance,
+               KernelBackend backend = KernelBackend::kScalar);
 
 namespace detail {
+
+/// Registry slot for a tile dimension — the paper's power-of-two dims up
+/// to 4×4 (§4.2); -1 for anything else.  Shared by the scalar dispatch
+/// and the SIMD backend tables so they index identically.
+constexpr int tile_dim_slot(unsigned d) {
+  return d == 1 ? 0 : d == 2 ? 1 : d == 4 ? 2 : -1;
+}
 
 template <typename Idx>
 const Idx* col_array(const EncodedBlock& b) {
@@ -60,16 +83,6 @@ const Idx* brow_array(const EncodedBlock& b) {
     return b.brow32.data();
   }
 }
-
-#if defined(__AVX2__)
-inline double hsum256(__m256d v) {
-  const __m128d lo = _mm256_castpd256_pd128(v);
-  const __m128d hi = _mm256_extractf128_pd(v, 1);
-  const __m128d sum2 = _mm_add_pd(lo, hi);
-  const __m128d swap = _mm_unpackhi_pd(sum2, sum2);
-  return _mm_cvtsd_f64(_mm_add_sd(sum2, swap));
-}
-#endif
 
 template <unsigned R, unsigned C, typename Idx>
 void bcsr_kernel(const EncodedBlock& b, const double* x, double* y,
@@ -104,30 +117,7 @@ void bcsr_kernel(const EncodedBlock& b, const double* x, double* y,
       }
       for (; t < end; ++t) a0 += v[t] * xb[cols[t]];
       yb[tr] += (a0 + a1) + (a2 + a3);
-    }
-#if defined(__AVX2__)
-    else if constexpr (C == 4) {
-      // Explicit SIMDization (paper Table 2): each tile row is one 256-bit
-      // FMA against the gathered-but-contiguous x window; per-row vector
-      // accumulators reduce once per tile row.
-      __m256d acc[R];
-      for (unsigned i = 0; i < R; ++i) acc[i] = _mm256_setzero_pd();
-      for (; t < end; ++t) {
-        if (pf != 0) {
-          __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
-          __builtin_prefetch(cols + t + pf, 0, 0);
-        }
-        const double* tile = v + t * R * C;
-        const __m256d xv = _mm256_loadu_pd(xb + cols[t]);
-        for (unsigned i = 0; i < R; ++i) {
-          acc[i] = _mm256_fmadd_pd(_mm256_loadu_pd(tile + i * 4), xv, acc[i]);
-        }
-      }
-      double* ys = yb + static_cast<std::uint64_t>(tr) * R;
-      for (unsigned i = 0; i < R; ++i) ys[i] += hsum256(acc[i]);
-    }
-#endif
-    else {
+    } else {
       double acc[R] = {};
       for (; t < end; ++t) {
         if (pf != 0) {

@@ -13,4 +13,22 @@ const char* to_string(KernelFlavor flavor) {
   return "?";
 }
 
+const char* to_string(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto: return "auto";
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kAvx2: return "avx2";
+    case KernelBackend::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const char* to_string(WaitMode mode) {
+  switch (mode) {
+    case WaitMode::kCondvar: return "condvar";
+    case WaitMode::kSpin: return "spin";
+  }
+  return "?";
+}
+
 }  // namespace spmv

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 
 namespace spmv::engine {
 class ExecutionContext;
@@ -25,6 +27,30 @@ enum class KernelFlavor {
 };
 
 const char* to_string(KernelFlavor flavor);
+
+/// Register-tile kernel code backend (paper §4.1: "explicit SIMDization").
+/// The scalar kernels are the portable reference; SIMD backends are
+/// hand-written specializations selected at *plan* time from what the host
+/// actually supports (runtime dispatch — the build needs no -march flags).
+/// Every backend accumulates in the same order as the scalar reference, so
+/// a block computes identical results under any backend.
+enum class KernelBackend : std::uint8_t {
+  kAuto,    ///< pick the best backend host_info() reports support for
+  kScalar,  ///< portable C++ reference kernels
+  kAvx2,    ///< hand-vectorized AVX2 (x86-64 256-bit) kernels
+  kAvx512,  ///< AVX-512F hook — registry slot reserved, kernels pending
+};
+
+const char* to_string(KernelBackend backend);
+
+/// How a parallel dispatch waits at its barriers (paper §4.3: SpMV bodies
+/// are microseconds, so dispatch overhead must stay far below that).
+enum class WaitMode : std::uint8_t {
+  kCondvar,  ///< mutex + condition variable park on every dispatch
+  kSpin,     ///< atomic generation barrier: spin → yield → park (~50 µs)
+};
+
+const char* to_string(WaitMode mode);
 
 struct TuningOptions {
   // --- data structure optimizations (§4.2) ---
@@ -50,6 +76,12 @@ struct TuningOptions {
 
   // --- code optimizations (§4.1) ---
   KernelFlavor flavor = KernelFlavor::kSingleIndex;
+  /// Register-tile kernel backend.  kAuto resolves at plan time to the
+  /// widest backend the host supports (AVX2 today; the AVX-512 slot is a
+  /// stub).  Tile shapes a SIMD backend has no specialization for fall
+  /// back to scalar per block; the per-block outcome is recorded in the
+  /// TuningReport.  Force kScalar to debug or to baseline the SIMD gain.
+  KernelBackend backend = KernelBackend::kAuto;
   /// Software prefetch distance in value elements ahead of the cursor
   /// (0 disables; the paper tunes 0..512).
   unsigned prefetch_distance = 0;
@@ -69,6 +101,12 @@ struct TuningOptions {
   /// Encode each thread's blocks on that thread so first-touch places them
   /// in the local NUMA domain (memory affinity).
   bool numa_first_touch = true;
+  /// Barrier wait mode for this plan's dispatches.  Unset (the default)
+  /// follows the context's ExecutionConfig::wait_mode — kSpin unless the
+  /// context says otherwise — so multiply()/multiply_batch() hot loops get
+  /// the low-latency path for free.  Set kCondvar to force the classic
+  /// mutex/condvar dispatch for debugging.
+  std::optional<WaitMode> wait_mode;
   /// Execution context whose shared worker pool the plan borrows for both
   /// NUMA-aware encoding and every multiply; nullptr means the process-wide
   /// engine::ExecutionContext::global().  The context must outlive the plan.

@@ -1,13 +1,81 @@
 #include "core/thread_pool.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "util/cpu.h"
 
 namespace spmv {
 
+namespace {
+
+thread_local bool t_on_pool_worker = false;
+
+/// How long a spin-mode waiter burns before parking on the condvar.  Long
+/// enough to bridge the gap between back-to-back multiplies (the engine
+/// re-dispatches within a few µs on a warm pool), short enough that an
+/// idle pool goes quiet almost immediately.
+constexpr std::chrono::microseconds kSpinBudget{50};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Spin until `pred()` holds, with bounded exponential backoff: short
+/// pause bursts that double up to 64, then sched yields (so an
+/// oversubscribed host hands the CPU to whoever we are waiting for).
+/// Returns false once ~kSpinBudget elapses with pred still false.
+template <typename Pred>
+bool spin_with_backoff(const Pred& pred) {
+  const auto start = std::chrono::steady_clock::now();
+  unsigned pauses = 1;
+  for (;;) {
+    for (unsigned i = 0; i < pauses; ++i) cpu_relax();
+    if (pred()) return true;
+    if (std::chrono::steady_clock::now() - start >= kSpinBudget) {
+      return false;
+    }
+    if (pauses < 64) {
+      pauses *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+/// Busy-waiting only pays when every waiter can sit on its own CPU; once
+/// the dispatch's threads exceed the host, a spinning thread is stealing
+/// cycles from the very thread it waits for, so both sides park
+/// immediately instead (the participation win — one fewer handoff than
+/// condvar mode — remains).  A spin dispatch of width `active` occupies
+/// exactly `active` threads: the caller runs tid 0 and worker 0 idles.
+inline bool spin_pays(unsigned active) {
+  return active <= host_info().logical_cpus;
+}
+
+/// Marks the current thread as a pool worker for the duration of a task
+/// the *caller* executes (spin-mode participation), so nested dispatches
+/// inline exactly as they would on a real worker.
+class WorkerScope {
+ public:
+  WorkerScope() : prev_(t_on_pool_worker) { t_on_pool_worker = true; }
+  ~WorkerScope() { t_on_pool_worker = prev_; }
+
+ private:
+  bool prev_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads, bool pin) {
   if (threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  if (threads > kActiveMask) {
+    throw std::invalid_argument("ThreadPool: too many threads");
+  }
   workers_.reserve(threads);
   for (unsigned tid = 0; tid < threads; ++tid) {
     workers_.emplace_back([this, tid] { worker_loop(tid); });
@@ -24,73 +92,167 @@ void ThreadPool::pin_workers() {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
+  shutdown_.store(true, std::memory_order_seq_cst);
+  // The empty critical section orders the shutdown store against any
+  // worker that is between "decided to park" and "asleep": either it is
+  // already waiting (the notify below wakes it) or it has not locked yet
+  // and its predicate re-check happens-after our unlock, so it sees
+  // shutdown_.  Spinning workers observe the atomic directly.
+  { std::lock_guard<std::mutex> lock(mutex_); }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-namespace {
-thread_local bool t_on_pool_worker = false;
-}  // namespace
-
 bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
 
-void ThreadPool::run(const std::function<void(unsigned)>& task) {
-  run(size(), task);
+void ThreadPool::run(const std::function<void(unsigned)>& task,
+                     WaitMode mode) {
+  run(size(), task, mode);
 }
 
 void ThreadPool::run(unsigned active,
-                     const std::function<void(unsigned)>& task) {
+                     const std::function<void(unsigned)>& task,
+                     WaitMode mode) {
   if (active > size()) {
     throw std::invalid_argument(
         "ThreadPool::run: active exceeds worker count");
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  if (active == 0) return;
+  const bool participate = mode == WaitMode::kSpin;
+  if (participate && active == 1) {
+    // The whole dispatch is the caller's share: no barrier at all.
+    const WorkerScope scope;
+    task(0);
+    return;
+  }
+  const unsigned helpers = participate ? active - 1 : active;
+
+  // Publish the dispatch: plain fields first, then the generation word.
+  // No dispatch is in flight (contract), so nothing reads them yet, and
+  // the release in the seq_cst store makes them visible to every worker
+  // that acquires the new word.
   task_ = &task;
-  // Completion is gated on the active workers only: a narrow dispatch on a
-  // wide shared pool must not wait for workers that have nothing to run
-  // (they may not even wake before the next dispatch, which is fine — they
-  // observe generations, not tasks).
-  remaining_ = active;
-  active_ = active;
+  dispatch_mode_ = mode;
   first_error_ = nullptr;
-  ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  caller_parked_.store(false, std::memory_order_relaxed);
+  remaining_.store(helpers, std::memory_order_relaxed);
+  const std::uint64_t prev = dispatch_word_.load(std::memory_order_relaxed);
+  const std::uint64_t next = (((prev >> kActiveBits) + 1) << kActiveBits) |
+                             (participate ? kParticipateBit : 0) | active;
+  // seq_cst, not just release: the store must be ordered before the
+  // parked_ load (Dekker handshake with a worker that is about to park).
+  dispatch_word_.store(next, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_start_.notify_all();
+  }
+
+  if (participate) {
+    // Fork-join with caller participation: tid 0 runs right here while
+    // the workers chew tids 1..active-1 — one fewer handoff per dispatch,
+    // and the caller's CPU does useful work instead of waiting.
+    const WorkerScope scope;
+    try {
+      task(0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+
+  // Wait for the barrier.  The spin path touches no lock at all when the
+  // workers finish within the budget — the common case for a warm pool
+  // running microsecond SpMV bodies.
+  bool done = remaining_.load(std::memory_order_acquire) == 0;
+  if (!done && mode == WaitMode::kSpin && spin_pays(active)) {
+    done = spin_with_backoff(
+        [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  }
+  if (!done) {
+    caller_parked_.store(true, std::memory_order_seq_cst);
+    if (remaining_.load(std::memory_order_seq_cst) != 0) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_done_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    caller_parked_.store(false, std::memory_order_relaxed);
+  }
   task_ = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error_) {
+    // Reading without error_mutex_ is safe: every worker that wrote it
+    // did so before its remaining_ decrement, which we have acquired.
+    const std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t ThreadPool::wait_for_dispatch(std::uint64_t seen,
+                                            WaitMode idle_mode) {
+  std::uint64_t w = dispatch_word_.load(std::memory_order_acquire);
+  if (w != seen || shutdown_.load(std::memory_order_relaxed)) return w;
+  // After a spin-mode task, stay hot for the budget: back-to-back
+  // multiplies re-dispatch long before it expires, making the whole
+  // round-trip mutex-free.
+  if (idle_mode == WaitMode::kSpin) {
+    if (spin_with_backoff([&] {
+          w = dispatch_word_.load(std::memory_order_acquire);
+          return w != seen || shutdown_.load(std::memory_order_relaxed);
+        })) {
+      return w;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // seq_cst increment before the predicate's word load: Dekker handshake
+  // with run()'s word store / parked_ load pair (see there).
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  cv_start_.wait(lock, [&] {
+    return dispatch_word_.load(std::memory_order_seq_cst) != seen ||
+           shutdown_.load(std::memory_order_relaxed);
+  });
+  parked_.fetch_sub(1, std::memory_order_relaxed);
+  lock.unlock();
+  return dispatch_word_.load(std::memory_order_acquire);
 }
 
 void ThreadPool::worker_loop(unsigned tid) {
   t_on_pool_worker = true;
-  std::uint64_t seen_generation = 0;
+  std::uint64_t seen = 0;
+  WaitMode idle_mode = WaitMode::kCondvar;
   for (;;) {
-    const std::function<void(unsigned)>* task;
-    unsigned active;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      task = task_;
-      active = active_;
+    const std::uint64_t w = wait_for_dispatch(seen, idle_mode);
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    seen = w;
+    const unsigned active = static_cast<unsigned>(w & kActiveMask);
+    if (tid >= active ||
+        (tid == 0 && (w & kParticipateBit) != 0)) {
+      // Not part of this dispatch's barrier (tid 0's share runs on the
+      // caller when the participate bit is set) — and not entitled to
+      // read its fields either (the caller may republish them the moment
+      // the executing workers finish), so idle cold until next selected.
+      idle_mode = WaitMode::kCondvar;
+      continue;
     }
-    if (tid >= active) continue;  // not part of this dispatch's barrier
-    std::exception_ptr error;
+    // Safe to read the dispatch fields: this worker is active in the
+    // acquired word, and the caller cannot overwrite them until our
+    // remaining_ decrement below.
+    idle_mode = dispatch_mode_ == WaitMode::kSpin && spin_pays(active)
+                    ? WaitMode::kSpin
+                    : WaitMode::kCondvar;
     try {
-      (*task)(tid);
+      (*task_)(tid);
     } catch (...) {
-      error = std::current_exception();
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
-      if (--remaining_ == 0) cv_done_.notify_one();
+    if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      // Last one out: wake the caller iff it actually parked (Dekker
+      // handshake with run()'s caller_parked_ store / remaining_ load).
+      if (caller_parked_.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_done_.notify_one();
+      }
     }
   }
 }

@@ -2,17 +2,36 @@
 // with process affinity).
 //
 // SpMV bodies are microseconds long, so thread creation per call would
-// dominate; the pool keeps workers alive across calls and dispatches with a
-// generation-counter barrier.  Worker i can be pinned to logical CPU i
-// (process affinity); NUMA-aware planning runs the per-thread encoding *on*
-// the owning worker so first-touch places pages locally (memory affinity).
+// dominate; the pool keeps workers alive across calls and dispatches with
+// an *atomic* generation-counter barrier.  Worker i can be pinned to
+// logical CPU i (process affinity); NUMA-aware planning runs the per-thread
+// encoding *on* the owning worker so first-touch places pages locally
+// (memory affinity).
+//
+// Two wait modes (WaitMode, see core/options.h):
+//  * kCondvar — caller and workers park on a mutex/condvar at every
+//    barrier.  Robust, zero busy-wait, ~µs wake latency.
+//  * kSpin — the dispatch itself is lock-free: the caller publishes the
+//    task with one release store of the generation word, executes tid 0's
+//    share *itself* (fork-join with caller participation: one fewer
+//    thread handoff per dispatch, and the pool never oversubscribes the
+//    caller's CPU), and spins (with bounded exponential backoff: pause →
+//    yield → condvar park after ~50 µs idle) for the remaining workers;
+//    workers that just finished a spin-mode task spin the same way for
+//    the next generation.  Back-to-back multiplies on a warm pool
+//    therefore never touch the mutex.  Workers and caller fall back to
+//    parking after the budget, so an idle pool costs nothing.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/options.h"
 
 namespace spmv {
 
@@ -33,17 +52,23 @@ class ThreadPool {
 
   /// Run `task(tid)` on every worker (tid in [0, size())) and wait for all
   /// of them to finish.  Exceptions thrown by tasks propagate (first one
-  /// wins) after the barrier completes.
-  void run(const std::function<void(unsigned)>& task);
+  /// wins) after the barrier completes — in either wait mode.
+  void run(const std::function<void(unsigned)>& task,
+           WaitMode mode = WaitMode::kCondvar);
 
-  /// Run `task(tid)` on the first `active` workers only (tid in
-  /// [0, active)); the rest stay out of this dispatch's barrier entirely,
-  /// so a narrow dispatch on a wide shared pool completes without waiting
-  /// for idle workers.  Throws std::invalid_argument when `active` exceeds
-  /// size() — silently skipping iterations would drop row partitions.
+  /// Run `task(tid)` for tid in [0, active) only; the remaining workers
+  /// stay out of this dispatch's barrier entirely, so a narrow dispatch on
+  /// a wide shared pool completes without waiting for idle workers.
+  /// Throws std::invalid_argument when `active` exceeds size() — silently
+  /// skipping iterations would drop row partitions.
+  /// In kCondvar mode every tid runs on pool worker tid; in kSpin mode the
+  /// caller runs task(0) itself (on_worker_thread() is true inside it, so
+  /// nested dispatches inline like they do on workers) and workers run
+  /// tids 1..active-1.
   /// Only one run()/run(active, ...) may be in flight at a time — callers
   /// that share a pool must serialize dispatches (ExecutionContext does).
-  void run(unsigned active, const std::function<void(unsigned)>& task);
+  void run(unsigned active, const std::function<void(unsigned)>& task,
+           WaitMode mode = WaitMode::kCondvar);
 
   /// Pin every worker i to logical CPU i modulo the host CPU count, as the
   /// pinning constructor would have.  Lets a shared pool spawned unpinned
@@ -56,16 +81,41 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned tid);
+  /// Block until the dispatch word moves past `seen`, or shutdown, and
+  /// return the new word.  `idle_mode` is the mode of the dispatch this
+  /// worker last *executed*: after a spin-mode task the worker stays hot
+  /// for ~kSpinBudget before parking; otherwise it parks immediately.
+  std::uint64_t wait_for_dispatch(std::uint64_t seen, WaitMode idle_mode);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+
+  // One dispatch is described by the generation word (generation in the
+  // high bits, a caller-participates flag, and the active count in the low
+  // 15) plus the plain fields below it.  The caller writes the fields,
+  // then release-stores the word; a worker acquire-loads the word and
+  // reads the fields only when it executes part of *that* dispatch —
+  // bystanders (tid >= active, and tid 0 when the caller participates)
+  // never touch them, so the next dispatch may overwrite the fields as
+  // soon as the executing workers have all decremented remaining_.
+  static constexpr unsigned kActiveBits = 16;
+  static constexpr std::uint64_t kParticipateBit = 1u << 15;
+  static constexpr unsigned kActiveMask = (1u << 15) - 1;
+  std::atomic<std::uint64_t> dispatch_word_{0};
+  const std::function<void(unsigned)>* task_ = nullptr;
+  WaitMode dispatch_mode_ = WaitMode::kCondvar;
+
+  std::atomic<unsigned> remaining_{0};
+  std::atomic<bool> shutdown_{false};
+  /// Workers currently parked in cv_start_ (Dekker-style handshake with
+  /// the dispatch-word store: the caller only locks/notifies when > 0).
+  std::atomic<unsigned> parked_{0};
+  /// Caller parked in cv_done_ (same handshake with remaining_).
+  std::atomic<bool> caller_parked_{false};
+
+  std::mutex mutex_;  ///< park/wake only — never taken on the spin path
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(unsigned)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned remaining_ = 0;
-  unsigned active_ = 0;  ///< workers with tid < active_ execute the task
-  bool shutdown_ = false;
+  std::mutex error_mutex_;  ///< taken only when a task throws
   std::exception_ptr first_error_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "core/cache_block.h"
 #include "core/kernels_block.h"
+#include "core/kernels_simd.h"
 #include "engine/execution_context.h"
 #include "util/cpu.h"
 #include "util/timer.h"
@@ -21,7 +22,8 @@ std::string TuningReport::summary() const {
      << compression_ratio() * 100.0 << "% of CSR), fill=" << fill_ratio
      << ", bcoo=" << blocks_bcoo << ", idx16=" << blocks_idx16
      << ", register-blocked=" << blocks_register_blocked
-     << ", prefetch=" << prefetch_distance;
+     << ", backend=" << to_string(backend) << " (" << blocks_simd << "/"
+     << cache_blocks << " blocks simd), prefetch=" << prefetch_distance;
   return os.str();
 }
 
@@ -41,6 +43,7 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
   m.report_.nnz = a.nnz();
   m.report_.threads = opt.threads;
   m.report_.csr_bytes = csr_footprint(a.nnz(), a.rows());
+  m.report_.backend = resolve_kernel_backend(opt.backend);
 
   // 1. Thread-level row partition, balanced by nonzeros.
   m.thread_rows_ = partition_rows_by_nnz(a, opt.threads);
@@ -69,6 +72,13 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
       PlannedBlock pb;
       pb.extent = extent;
       pb.decision = choose_encoding(a, extent, opt);
+      // The tuner minimizes storage; which code backend the chosen shape
+      // runs on follows from the host (per block: SIMD when the backend
+      // has that shape, scalar otherwise).
+      pb.decision.backend =
+          block_kernel_backend(pb.decision.fmt, pb.decision.idx,
+                               pb.decision.br, pb.decision.bc,
+                               m.report_.backend);
       planned[t].push_back(pb);
     }
   }
@@ -88,17 +98,23 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
   // Encoding borrows the same shared pool multiply() will use, so the
   // first-touch pages stay with the workers that later stream them.
   if (opt.threads > 1 && opt.numa_first_touch) {
-    m.ctx_->parallel_for(opt.threads, encode_thread, opt.pin_threads);
+    m.ctx_->parallel_for(opt.threads, encode_thread, opt.pin_threads,
+                         opt.wait_mode);
   } else {
     for (unsigned t = 0; t < opt.threads; ++t) encode_thread(t);
   }
 
-  // 4. Report.
+  // 4. Report, and the per-block kernel pointers multiply() dispatches
+  // through (resolved once here instead of per block per multiply).
   std::uint64_t stored = 0, true_nnz = 0;
+  m.kernels_.resize(opt.threads);
   for (unsigned t = 0; t < opt.threads; ++t) {
+    m.kernels_[t].reserve(m.blocks_[t].size());
     for (std::size_t b = 0; b < m.blocks_[t].size(); ++b) {
       const EncodedBlock& blk = m.blocks_[t][b];
       const PlannedBlock& pb = planned[t][b];
+      m.kernels_[t].push_back(block_kernel(blk.fmt, blk.idx, blk.br, blk.bc,
+                                           m.report_.backend));
       m.report_.tuned_bytes += blk.footprint_bytes();
       stored += blk.stored_nnz;
       true_nnz += blk.true_nnz;
@@ -106,6 +122,9 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
       if (blk.fmt == BlockFormat::kBcoo) ++m.report_.blocks_bcoo;
       if (blk.idx == IndexWidth::k16) ++m.report_.blocks_idx16;
       if (blk.br * blk.bc > 1) ++m.report_.blocks_register_blocked;
+      if (pb.decision.backend != KernelBackend::kScalar) {
+        ++m.report_.blocks_simd;
+      }
       m.report_.blocks.push_back({t, pb.extent, pb.decision});
     }
   }
@@ -164,9 +183,9 @@ void TunedMatrix::execute(const double* x, double* y,
                           engine::Scratch* /*scratch*/) const {
   const unsigned pf = opt_.prefetch_distance;
   if (opt_.threads <= 1) {
-    for (const auto& thread_blocks : blocks_) {
-      for (const EncodedBlock& blk : thread_blocks) {
-        run_block(blk, x, y, pf);
+    for (std::size_t t = 0; t < blocks_.size(); ++t) {
+      for (std::size_t b = 0; b < blocks_[t].size(); ++b) {
+        kernels_[t][b](blocks_[t][b], x, y, pf);
       }
     }
     return;
@@ -174,11 +193,11 @@ void TunedMatrix::execute(const double* x, double* y,
   ctx_->parallel_for(
       opt_.threads,
       [this, x, y, pf](unsigned t) {
-        for (const EncodedBlock& blk : blocks_[t]) {
-          run_block(blk, x, y, pf);
+        for (std::size_t b = 0; b < blocks_[t].size(); ++b) {
+          kernels_[t][b](blocks_[t][b], x, y, pf);
         }
       },
-      opt_.pin_threads);
+      opt_.pin_threads, opt_.wait_mode);
 }
 
 void TunedMatrix::execute_batch(std::span<const double* const> xs,
@@ -193,12 +212,12 @@ void TunedMatrix::execute_batch(std::span<const double* const> xs,
       opt_.threads,
       [this, xs, ys, pf](unsigned t) {
         for (std::size_t i = 0; i < xs.size(); ++i) {
-          for (const EncodedBlock& blk : blocks_[t]) {
-            run_block(blk, xs[i], ys[i], pf);
+          for (std::size_t b = 0; b < blocks_[t].size(); ++b) {
+            kernels_[t][b](blocks_[t][b], xs[i], ys[i], pf);
           }
         }
       },
-      opt_.pin_threads);
+      opt_.pin_threads, opt_.wait_mode);
 }
 
 }  // namespace spmv

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/blocked.h"
+#include "core/kernels_block.h"
 #include "core/options.h"
 #include "core/partition.h"
 #include "core/tuner.h"
@@ -44,6 +45,11 @@ struct TuningReport {
   std::size_t blocks_bcoo = 0;
   std::size_t blocks_idx16 = 0;
   std::size_t blocks_register_blocked = 0;  ///< tile area > 1
+  std::size_t blocks_simd = 0;              ///< non-scalar kernel backend
+  /// Kernel backend the plan resolved TuningOptions::backend to on this
+  /// host.  Individual blocks may still fall back to scalar when the
+  /// backend has no kernel for their shape — see BlockDecision::backend.
+  KernelBackend backend = KernelBackend::kScalar;
   /// Per-block decisions in (thread, block) order.
   struct BlockInfo {
     unsigned thread = 0;
@@ -109,8 +115,12 @@ class TunedMatrix final : public engine::SpmvPlan {
 
   TuningOptions opt_;
   TuningReport report_;
-  /// blocks_[t] are the encoded cache blocks owned by worker t.
+  /// blocks_[t] are the encoded cache blocks owned by worker t;
+  /// kernels_[t][b] is blocks_[t][b]'s kernel, resolved once at plan time
+  /// (backend lookup + per-shape fallback) so multiply dispatches straight
+  /// through the pointer.
   std::vector<std::vector<EncodedBlock>> blocks_;
+  std::vector<std::vector<BlockKernelFn>> kernels_;
   std::vector<RowRange> thread_rows_;
   engine::ExecutionContext* ctx_ = nullptr;
 };

@@ -23,6 +23,11 @@ struct BlockDecision {
   unsigned br = 1, bc = 1;
   BlockFormat fmt = BlockFormat::kBcsr;
   IndexWidth idx = IndexWidth::k32;
+  /// Kernel code backend this block actually dispatches to, filled in by
+  /// the planner after the footprint decision (the tuner itself optimizes
+  /// storage; the backend follows from shape × host, see
+  /// block_kernel_backend).
+  KernelBackend backend = KernelBackend::kScalar;
   std::uint64_t tiles = 0;
   std::uint64_t footprint_bytes = 0;
   std::uint64_t nnz = 0;

@@ -19,7 +19,8 @@ unsigned ExecutionContext::capacity() const {
 
 void ExecutionContext::parallel_for(unsigned threads,
                                     const std::function<void(unsigned)>& task,
-                                    bool pin) {
+                                    bool pin,
+                                    std::optional<WaitMode> wait_mode) {
   if (threads <= 1) {
     task(0);
     return;
@@ -45,7 +46,7 @@ void ExecutionContext::parallel_for(unsigned threads,
     pool_->pin_workers();
     pinned_ = true;
   }
-  pool_->run(threads, task);
+  pool_->run(threads, task, wait_mode.value_or(config_.wait_mode));
   dispatches_.fetch_add(1, std::memory_order_relaxed);
 }
 

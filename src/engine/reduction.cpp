@@ -6,7 +6,8 @@ namespace spmv::engine {
 
 void reduce_private_y(ExecutionContext& ctx, unsigned threads,
                       std::uint32_t rows, bool pin,
-                      const PrivateYScratch& s, double* y) {
+                      const PrivateYScratch& s, double* y,
+                      std::optional<WaitMode> wait_mode) {
   ctx.parallel_for(
       threads,
       [&](unsigned t) {
@@ -19,7 +20,7 @@ void reduce_private_y(ExecutionContext& ctx, unsigned threads,
           for (std::uint64_t r = r0; r < r1; ++r) y[r] += py[r];
         }
       },
-      pin);
+      pin, wait_mode);
 }
 
 }  // namespace spmv::engine

@@ -46,6 +46,9 @@ HostInfo probe() {
     info.has_avx2 = (ebx & (1u << 5)) != 0;
     info.has_avx512f = (ebx & (1u << 16)) != 0;
   }
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    info.has_fma = (ecx & (1u << 12)) != 0;
+  }
   char brand[49] = {};
   unsigned* words = reinterpret_cast<unsigned*>(brand);
   for (unsigned leaf = 0; leaf < 3; ++leaf) {

@@ -15,6 +15,7 @@ namespace spmv {
 struct HostInfo {
   unsigned logical_cpus = 1;   ///< std::thread::hardware_concurrency
   bool has_avx2 = false;
+  bool has_fma = false;        ///< FMA3 (every AVX2 part ships it in practice)
   bool has_avx512f = false;
   std::size_t cache_line_bytes = 64;
   std::size_t l1d_bytes = 32 * 1024;

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/thread_pool.h"
@@ -110,6 +112,107 @@ TEST(ThreadPool, PinnedPoolStillWorks) {
 TEST(ThreadPool, DestructionWithoutRunsIsClean) {
   ThreadPool pool(8);
   // No run() at all: destructor must join cleanly (no hang, no crash).
+}
+
+// --- spin dispatch mode ---
+
+TEST(ThreadPoolSpin, RunsEveryTidExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned tid) { hits[tid].fetch_add(1); }, WaitMode::kSpin);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolSpin, BackToBackDispatchesOnWarmPool) {
+  // The hot loop the mode exists for: workers should catch successive
+  // generations while still spinning.  Correctness is what we can assert.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kSpin);
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolSpin, ParkAfterBudgetThenWakeForNextDispatch) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kSpin);
+  // Sleep far past the ~50µs spin budget so every worker has parked on
+  // the condvar; the next spin dispatch must still wake them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kSpin);
+  EXPECT_EQ(counter.load(), 6);
+}
+
+TEST(ThreadPoolSpin, AlternatingModesInterleaveCleanly) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    const WaitMode mode = i % 2 == 0 ? WaitMode::kSpin : WaitMode::kCondvar;
+    pool.run([&](unsigned) { counter.fetch_add(1); }, mode);
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolSpin, PartialWidthHitsOnlyActiveTids) {
+  ThreadPool pool(6);
+  std::vector<std::atomic<int>> hits(6);
+  pool.run(2, [&](unsigned tid) { hits[tid].fetch_add(1); },
+           WaitMode::kSpin);
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  for (std::size_t t = 2; t < 6; ++t) EXPECT_EQ(hits[t].load(), 0);
+}
+
+TEST(ThreadPoolSpin, ExceptionPropagatesFirstOnly) {
+  // Regression (the condvar path recorded only the first exception after
+  // the barrier; the lock-free path must preserve that contract): all
+  // workers throw, exactly one exception propagates, the barrier still
+  // completes, and the pool stays usable in both modes afterwards.
+  ThreadPool pool(3);
+  try {
+    pool.run(
+        [](unsigned tid) {
+          throw std::runtime_error("boom " + std::to_string(tid));
+        },
+        WaitMode::kSpin);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u) << e.what();
+  }
+  std::atomic<int> counter{0};
+  pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kSpin);
+  pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kCondvar);
+  EXPECT_EQ(counter.load(), 6);
+}
+
+TEST(ThreadPoolSpin, SingleThrowerAmongWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(
+          [&](unsigned tid) {
+            if (tid == 2) throw std::logic_error("just tid 2");
+            completed.fetch_add(1);
+          },
+          WaitMode::kSpin),
+      std::logic_error);
+  // The barrier waited for everyone, not just the thrower.
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ThreadPoolSpin, ManyDispatchesWithRandomGaps) {
+  // Mix warm handoffs (no gap) with parked wakeups (gap > spin budget).
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.run([&](unsigned) { counter.fetch_add(1); }, WaitMode::kSpin);
+    if (i % 8 == 7) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_EQ(counter.load(), 80);
 }
 
 }  // namespace
