@@ -104,9 +104,18 @@ struct BenchConfig {
     os << "{\n";
     os << "  \"title\": \"" << detail::json_escape(title) << "\",\n";
     os << "  \"scale\": " << scale << ",\n";
+    // Full host stamp — CPU model, core count, and every HostInfo SIMD
+    // flag — so BENCH_*.json points from different machines remain
+    // comparable across the perf trajectory.
     os << "  \"host\": {\"vendor\": \"" << detail::json_escape(h.vendor)
        << "\", \"logical_cpus\": " << h.logical_cpus
-       << ", \"avx2\": " << (h.has_avx2 ? "true" : "false") << "},\n";
+       << ", \"avx2\": " << (h.has_avx2 ? "true" : "false")
+       << ", \"fma\": " << (h.has_fma ? "true" : "false")
+       << ", \"avx512f\": " << (h.has_avx512f ? "true" : "false")
+       << ", \"cache_line_bytes\": " << h.cache_line_bytes
+       << ", \"l1d_bytes\": " << h.l1d_bytes
+       << ", \"l2_bytes\": " << h.l2_bytes
+       << ", \"page_bytes\": " << h.page_bytes << "},\n";
     os << "  \"headers\": [";
     for (std::size_t c = 0; c < table.cols(); ++c) {
       if (c != 0) os << ", ";

@@ -1,20 +1,38 @@
 #include "engine/executor.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace spmv::engine {
 
 Executor::Executor(const SpmvPlan& plan)
     : plan_(&plan), scratch_(plan.make_scratch()) {}
 
-Executor::Executor(Executor&&) noexcept = default;
-Executor& Executor::operator=(Executor&&) noexcept = default;
-Executor::~Executor() = default;
+Executor::Executor(const SpmvPlan& plan, ScratchCache& cache)
+    : plan_(&plan), scratch_(cache.take(plan)), home_(&cache) {}
 
-namespace {
+Executor::Executor(Executor&& other) noexcept
+    : plan_(other.plan_),
+      scratch_(std::move(other.scratch_)),
+      home_(std::exchange(other.home_, nullptr)) {}
 
-void validate_pair(const SpmvPlan& plan, std::span<const double> x,
-                   std::span<double> y) {
+Executor& Executor::operator=(Executor&& other) noexcept {
+  if (this != &other) {
+    if (home_ != nullptr) home_->give_back(std::move(scratch_));
+    plan_ = other.plan_;
+    scratch_ = std::move(other.scratch_);
+    home_ = std::exchange(other.home_, nullptr);
+  }
+  return *this;
+}
+
+Executor::~Executor() {
+  if (home_ != nullptr) home_->give_back(std::move(scratch_));
+}
+
+void validate_multiply_operands(const SpmvPlan& plan,
+                                std::span<const double> x,
+                                std::span<double> y) {
   if (x.size() < plan.x_elements() || y.size() < plan.y_elements()) {
     throw std::invalid_argument("Executor: operand too short");
   }
@@ -23,15 +41,10 @@ void validate_pair(const SpmvPlan& plan, std::span<const double> x,
   }
 }
 
-}  // namespace
-
-void Executor::multiply(std::span<const double> x, std::span<double> y) {
-  validate_pair(*plan_, x, y);
-  plan_->execute(x.data(), y.data(), scratch_.get());
-}
-
-void Executor::multiply_batch(std::span<const double* const> xs,
-                              std::span<double* const> ys) {
+void validate_batch_operands(const SpmvPlan& plan,
+                             std::span<const double* const> xs,
+                             std::span<double* const> ys) {
+  (void)plan;  // lengths are uncheckable from bare pointers (see header)
   if (xs.size() != ys.size()) {
     throw std::invalid_argument("Executor: batch size mismatch");
   }
@@ -51,8 +64,23 @@ void Executor::multiply_batch(std::span<const double* const> xs,
             "Executor: batch operands alias (xs/ys must be disjoint; chain "
             "dependent multiplies through multiply() instead)");
       }
+      if (j < i && ys[i] == ys[j]) {
+        throw std::invalid_argument(
+            "Executor: duplicate y in batch (two right-hand sides would "
+            "accumulate into the same destination concurrently)");
+      }
     }
   }
+}
+
+void Executor::multiply(std::span<const double> x, std::span<double> y) {
+  validate_multiply_operands(*plan_, x, y);
+  plan_->execute(x.data(), y.data(), scratch_.get());
+}
+
+void Executor::multiply_batch(std::span<const double* const> xs,
+                              std::span<double* const> ys) {
+  validate_batch_operands(*plan_, xs, ys);
   plan_->execute_batch(xs, ys, scratch_.get());
 }
 

@@ -20,6 +20,14 @@ class Executor {
   /// Borrow `plan` (it must outlive the Executor) and allocate its scratch.
   explicit Executor(const SpmvPlan& plan);
 
+  /// Borrow `plan` with its scratch drawn from `cache` instead of a fresh
+  /// allocation, and returned there on destruction.  This is how a serving
+  /// dispatcher constructs a short-lived Executor per batch without paying
+  /// a scratch allocation each time (the reduction-based plans' scratch is
+  /// plan_threads × rows doubles).  Both plan and cache must outlive the
+  /// Executor.
+  Executor(const SpmvPlan& plan, ScratchCache& cache);
+
   Executor(Executor&&) noexcept;
   Executor& operator=(Executor&&) noexcept;
   ~Executor();
@@ -34,9 +42,10 @@ class Executor {
   /// length; each pointer must be non-null and reference at least
   /// x_elements()/y_elements() valid elements — lengths cannot be checked
   /// from bare pointers, unlike multiply()'s spans.  No xs pointer may
-  /// equal any ys pointer (checked): the batch executes with no ordering
-  /// between right-hand sides, so chained batches are rejected — express
-  /// dependent multiplies as successive multiply() calls.  Uses the plan's
+  /// equal any ys pointer, and no two ys pointers may be equal (both
+  /// checked): the batch executes with no ordering between right-hand
+  /// sides, so chained batches and shared destinations are rejected —
+  /// express dependent multiplies as successive multiply() calls.  Uses the plan's
   /// batched execution path (single dispatch per batch where available).
   void multiply_batch(std::span<const double* const> xs,
                       std::span<double* const> ys);
@@ -46,6 +55,18 @@ class Executor {
  private:
   const SpmvPlan* plan_;
   std::unique_ptr<Scratch> scratch_;
+  ScratchCache* home_ = nullptr;  ///< scratch returns here when set
 };
+
+/// The operand checks multiply()/multiply_batch() perform, exposed so other
+/// front-ends (the serving scheduler validates at submit time, before the
+/// request ever reaches an Executor) reject with identical semantics.
+/// Both throw std::invalid_argument on violation.
+void validate_multiply_operands(const SpmvPlan& plan,
+                                std::span<const double> x,
+                                std::span<double> y);
+void validate_batch_operands(const SpmvPlan& plan,
+                             std::span<const double* const> xs,
+                             std::span<double* const> ys);
 
 }  // namespace spmv::engine

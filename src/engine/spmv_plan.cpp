@@ -41,26 +41,33 @@ ScratchCache::Lease::Lease(Lease&& other) noexcept
 }
 
 ScratchCache::Lease::~Lease() {
-  if (cache_ != nullptr && scratch_ != nullptr) {
-    std::lock_guard<std::mutex> lock(cache_->state_->mutex);
-    if (cache_->state_->free_list.size() < kMaxCached) {
-      cache_->state_->free_list.push_back(std::move(scratch_));
-    }
-    // else: drop it — a burst of concurrent calls must not pin its peak
-    // scratch memory for the plan's lifetime.
-  }
+  if (cache_ != nullptr) cache_->give_back(std::move(scratch_));
 }
 
 ScratchCache::Lease ScratchCache::borrow(const SpmvPlan& plan) {
+  return Lease(this, take(plan));
+}
+
+std::unique_ptr<Scratch> ScratchCache::take(const SpmvPlan& plan) {
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
     if (!state_->free_list.empty()) {
       std::unique_ptr<Scratch> s = std::move(state_->free_list.back());
       state_->free_list.pop_back();
-      return Lease(this, std::move(s));
+      return s;
     }
   }
-  return Lease(this, plan.make_scratch());
+  return plan.make_scratch();
+}
+
+void ScratchCache::give_back(std::unique_ptr<Scratch> scratch) {
+  if (scratch == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->free_list.size() < kMaxCached) {
+    state_->free_list.push_back(std::move(scratch));
+  }
+  // else: drop it — a burst of concurrent calls must not pin its peak
+  // scratch memory for the plan's lifetime.
 }
 
 }  // namespace spmv::engine

@@ -108,6 +108,13 @@ class ScratchCache {
   /// Borrow a cached scratch, or make a fresh one via `plan.make_scratch()`.
   [[nodiscard]] Lease borrow(const SpmvPlan& plan);
 
+  /// Lease-free borrowing for holders that manage the return themselves
+  /// (the pooled Executor): take() hands out a cached or fresh scratch,
+  /// give_back() returns it for reuse (or frees it beyond the cap).  Both
+  /// are thread-safe; give_back(nullptr) is a no-op.
+  [[nodiscard]] std::unique_ptr<Scratch> take(const SpmvPlan& plan);
+  void give_back(std::unique_ptr<Scratch> scratch);
+
  private:
   /// At most this many scratches cached when idle; excess returns are
   /// freed.  Kept tiny because one scratch can be plan_threads × rows

@@ -15,7 +15,7 @@ namespace {
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   std::ostringstream os;
   os << "matrix market parse error at line " << line << ": " << what;
-  throw std::runtime_error(os.str());
+  throw MmParseError(line, os.str());
 }
 
 std::string lower(std::string s) {

@@ -5,15 +5,34 @@
 // symmetric storage, which covers every matrix in Table 3.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "matrix/csr.h"
 
 namespace spmv {
 
-/// Parse a Matrix Market stream into CSR.  Throws std::runtime_error with a
-/// line-numbered message on malformed input.
+/// Parse failure with position: what() carries a "parse error at line N"
+/// message and line() exposes the 1-based line number programmatically, so
+/// tools pointing users at the offending entry of a million-line .mtx file
+/// don't have to scrape the message.  Derives from std::runtime_error, so
+/// existing catch sites keep working.
+class MmParseError : public std::runtime_error {
+ public:
+  MmParseError(std::size_t line, const std::string& what)
+      : std::runtime_error(what), line_(line) {}
+
+  /// 1-based line number of the offending input line.
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a Matrix Market stream into CSR.  Throws MmParseError (a
+/// std::runtime_error) with a line-numbered message on malformed input.
 CsrMatrix read_matrix_market(std::istream& in);
 
 /// Convenience file wrapper around the stream reader.

@@ -1,0 +1,75 @@
+#include "serve/registry.h"
+
+#include <chrono>
+#include <utility>
+
+namespace spmv::serve {
+
+MatrixRegistry::EntryPtr MatrixRegistry::publish(std::string name,
+                                                 TunedMatrix plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = std::make_shared<Entry>(name, next_version_++, std::move(plan));
+  entries_[std::move(name)] = entry;
+  return entry;
+}
+
+MatrixRegistry::EntryPtr MatrixRegistry::put(const std::string& name,
+                                             const CsrMatrix& m,
+                                             const TuningOptions& opt) {
+  // Tune outside the lock: planning is the expensive part and must not
+  // serialize lookups or other publishes.
+  return publish(name, TunedMatrix::plan(m, opt));
+}
+
+std::shared_future<MatrixRegistry::EntryPtr> MatrixRegistry::put_async(
+    std::string name, CsrMatrix m, TuningOptions opt) {
+  std::shared_future<EntryPtr> fut =
+      std::async(std::launch::async,
+                 [this, name = std::move(name), m = std::move(m),
+                  opt]() -> EntryPtr {
+                   return publish(name, TunedMatrix::plan(m, opt));
+                 })
+          .share();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Sweep finished tunes so pending_ tracks only live background work.
+  std::erase_if(pending_, [](const std::shared_future<EntryPtr>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  });
+  pending_.push_back(fut);
+  return fut;
+}
+
+MatrixRegistry::~MatrixRegistry() {
+  std::vector<std::shared_future<EntryPtr>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(pending_);
+  }
+  for (const auto& f : pending) f.wait();  // errors surfaced via the future
+}
+
+MatrixRegistry::EntryPtr MatrixRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+bool MatrixRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(name) != 0;
+}
+
+std::vector<std::string> MatrixRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t MatrixRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace spmv::serve

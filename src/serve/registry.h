@@ -1,0 +1,89 @@
+// MatrixRegistry: named, refcounted, hot-swappable tuned matrices.
+//
+// A serving process tunes each matrix once (possibly in the background —
+// planning itself already runs its NUMA-aware encoding on the shared
+// engine pool) and then shares the immutable plan across every client and
+// dispatcher thread.  Entries are published as shared_ptr<const Entry>:
+// lookup pins the plan, so replace()/erase() never destroy a plan under an
+// in-flight request — the old version is retired when its last pin drops.
+// Each entry also carries a ScratchCache, so batched dispatches on plans
+// that need scratch stay allocation-free in steady state.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tuned_matrix.h"
+#include "engine/spmv_plan.h"
+
+namespace spmv::serve {
+
+class MatrixRegistry {
+ public:
+  /// One published version of one named matrix.  Immutable after publish
+  /// (the ScratchCache is internally synchronized; `mutable` only because
+  /// borrowing scratch is logically const).
+  struct Entry {
+    Entry(std::string name_, std::uint64_t version_, TunedMatrix plan_)
+        : name(std::move(name_)),
+          version(version_),
+          plan(std::move(plan_)) {}
+
+    std::string name;
+    std::uint64_t version;  ///< unique across the registry, monotonic
+    TunedMatrix plan;
+    mutable engine::ScratchCache scratch;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Tune `m` under `opt` and publish it as `name`, replacing any existing
+  /// entry (the old version stays alive for holders that already pinned
+  /// it).  Returns the published entry.  Tuning runs on the caller; for
+  /// background tuning use put_async().
+  EntryPtr put(const std::string& name, const CsrMatrix& m,
+               const TuningOptions& opt = {});
+
+  /// Tune-and-publish on a background thread (the encoding work inside
+  /// still lands on the plan's shared engine pool).  The future yields the
+  /// published entry or rethrows the planning error; lookups see the entry
+  /// only once tuning finished.  Concurrent put/put_async on one name are
+  /// safe — last publish wins, versions stay monotonic.  The registry
+  /// keeps its own reference to the in-flight tune, so discarding the
+  /// returned future never blocks; destroying the registry joins any
+  /// tunes still running.
+  std::shared_future<EntryPtr> put_async(std::string name, CsrMatrix m,
+                                         TuningOptions opt = {});
+
+  MatrixRegistry() = default;
+  MatrixRegistry(const MatrixRegistry&) = delete;
+  MatrixRegistry& operator=(const MatrixRegistry&) = delete;
+  ~MatrixRegistry();  ///< joins in-flight put_async tunes
+
+  /// The current entry for `name`, or nullptr.  The returned pin keeps the
+  /// plan alive regardless of later replace/erase.
+  [[nodiscard]] EntryPtr find(const std::string& name) const;
+
+  /// Retire `name` (current pins stay valid).  False when absent.
+  bool erase(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  EntryPtr publish(std::string name, TunedMatrix plan);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, EntryPtr> entries_;
+  std::uint64_t next_version_ = 1;
+  /// In-flight background tunes (swept when done): keeps the async shared
+  /// state alive so a discarded put_async future doesn't block, and gives
+  /// the destructor something to join.
+  std::vector<std::shared_future<EntryPtr>> pending_;
+};
+
+}  // namespace spmv::serve

@@ -1,0 +1,333 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/executor.h"
+
+namespace spmv::serve {
+
+const char* to_string(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kUnknownMatrix: return "unknown-matrix";
+    case ServeErrorCode::kInvalidOperand: return "invalid-operand";
+    case ServeErrorCode::kQueueFull: return "queue-full";
+    case ServeErrorCode::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::future<void> failed_future(ServeErrorCode code, const std::string& what) {
+  std::promise<void> p;
+  p.set_exception(std::make_exception_ptr(ServeError(code, what)));
+  return p.get_future();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(MatrixRegistry& registry, SchedulerConfig config)
+    : registry_(registry), config_(config), paused_(config.start_paused) {
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.dispatch_threads = std::max(1u, config_.dispatch_threads);
+  const unsigned threads = config_.dispatch_threads;
+  dispatchers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(Drain::kDrain); }
+
+std::future<void> Scheduler::submit(const std::string& name,
+                                    std::span<const double> x,
+                                    std::span<double> y) {
+  MatrixRegistry::EntryPtr entry = registry_.find(name);
+  if (entry == nullptr) {
+    stats_.record_unknown_matrix();
+    return failed_future(ServeErrorCode::kUnknownMatrix,
+                         "serve: no matrix registered as '" + name + "'");
+  }
+  return submit(std::move(entry), x, y);
+}
+
+std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
+                                    std::span<const double> x,
+                                    std::span<double> y) {
+  if (entry == nullptr) {
+    return failed_future(ServeErrorCode::kUnknownMatrix,
+                         "serve: null registry entry");
+  }
+  std::shared_ptr<MatrixServeStats> cell = stats_.cell(entry->name);
+  cell->requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  try {
+    engine::validate_multiply_operands(entry->plan, x, y);
+  } catch (const std::invalid_argument& e) {
+    cell->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    return failed_future(ServeErrorCode::kInvalidOperand, e.what());
+  }
+
+  Request req;
+  req.entry = std::move(entry);
+  req.x = x.data();
+  req.y = y.data();
+  req.stats = std::move(cell);
+  // Stamped before any backpressure wait: queue latency is the client's
+  // submit → dispatch-start time, including time parked on a full queue
+  // (a histogram that hid backpressure would read healthy exactly when
+  // saturation is throttling clients).
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<void> fut = req.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopping_ && queue_.size() >= config_.queue_capacity) {
+      if (config_.overflow == SchedulerConfig::OverflowPolicy::kReject) {
+        req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+        req.promise.set_exception(std::make_exception_ptr(ServeError(
+            ServeErrorCode::kQueueFull, "serve: request queue full")));
+        return fut;
+      }
+      // Backpressure: park the submitter until a dispatch frees a slot.
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (stopping_) {
+      req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_exception(std::make_exception_ptr(ServeError(
+          ServeErrorCode::kShutdown, "serve: scheduler is shut down")));
+      return fut;
+    }
+    queue_.push_back(std::move(req));
+    ++epoch_;
+    ++enqueue_count_;
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+}
+
+std::vector<Scheduler::Request> Scheduler::collect_batch(
+    std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return {};
+
+  // Linger: give the head request's batch time to fill before paying a
+  // dispatch for it.  The deadline is anchored to the head's enqueue time,
+  // so a request never waits more than max_linger total; stopping_ (drain)
+  // dispatches immediately.  Other dispatchers may steal requests while we
+  // wait (the lock drops inside wait_until), so everything re-checks.
+  const MatrixRegistry::Entry* key = queue_.front().entry.get();
+  const auto deadline = queue_.front().enqueued + config_.max_linger;
+  const auto count_for_key = [&] {
+    std::size_t n = 0;
+    for (const Request& r : queue_) {
+      if (r.entry.get() == key && ++n >= config_.max_batch) break;
+    }
+    return n;
+  };
+  // Linger only while this entry's batch is the sole work in the queue.
+  // Three cuts keep the window from being wasted:
+  //   * Other entries waiting → dispatch now.  Lingering would delay their
+  //     requests without widening this batch any faster, and their
+  //     execution time is itself a natural accumulation window for ours.
+  //   * Queue at capacity → dispatch now.  Submitters are parked on
+  //     backpressure, so nothing can join the batch (and nothing could
+  //     wake the stall detector below).
+  //   * Stall detection — an ARRIVAL that didn't grow the batch means the
+  //     new requests target other entries; every client of THIS entry is
+  //     already queued or blocked on a future we hold, so no amount of
+  //     further lingering can widen it.  Wakes without an arrival
+  //     (spurious, or another dispatcher's retire/notify_all) keep
+  //     lingering — treating them as stalls would collapse batch width
+  //     under multi-dispatcher pipelined load.
+  if (config_.max_linger.count() > 0) {
+    std::size_t seen = count_for_key();
+    std::uint64_t arrivals_seen = enqueue_count_;
+    while (!stopping_ && seen != 0 && seen < config_.max_batch &&
+           seen == queue_.size() &&
+           queue_.size() < config_.queue_capacity) {
+      if (work_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+      if (queue_.empty()) return {};
+      const std::size_t n = count_for_key();
+      if (n > seen) {
+        seen = n;
+        arrivals_seen = enqueue_count_;
+        continue;
+      }
+      if (enqueue_count_ != arrivals_seen) break;  // foreign arrivals only
+    }
+  }
+  if (queue_.empty()) return {};
+  if (count_for_key() == 0) key = queue_.front().entry.get();
+
+  // Extract up to max_batch requests for `key`, skipping any whose
+  // operands conflict with what the batch already holds OR with a batch
+  // another dispatcher is executing right now: the engine's batch path
+  // runs right-hand sides unordered and dispatchers run batches
+  // concurrently, so a duplicated y or an x aliasing any in-flight y must
+  // wait for a later dispatch rather than race.
+  std::vector<Request> batch;
+  batch.reserve(config_.max_batch);
+  const auto conflicts = [&](const Request& r) {
+    if (inflight_ys_.count(r.y) != 0 || inflight_xs_.count(r.y) != 0 ||
+        inflight_ys_.count(r.x) != 0) {
+      return true;
+    }
+    for (const Request& b : batch) {
+      if (r.y == b.y || r.y == b.x || r.x == b.y) return true;
+    }
+    return false;
+  };
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < config_.max_batch;) {
+    if (it->entry.get() == key && !conflicts(*it)) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Publish the batch's operands as in-flight before the lock drops;
+  // execute_batch() retires them when done.
+  for (const Request& r : batch) {
+    ++inflight_xs_[r.x];
+    ++inflight_ys_[r.y];
+  }
+  return batch;
+}
+
+void Scheduler::retire_inflight(const std::vector<Request>& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Request& r : batch) {
+      const auto dec = [](std::map<const double*, unsigned>& counts,
+                          const double* p) {
+        const auto it = counts.find(p);
+        if (it != counts.end() && --it->second == 0) counts.erase(it);
+      };
+      dec(inflight_xs_, r.x);
+      dec(inflight_ys_, r.y);
+    }
+    ++epoch_;
+  }
+  // Conflict-deferred requests may now be dispatchable.
+  work_cv_.notify_all();
+}
+
+void Scheduler::execute_batch(std::vector<Request> batch) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<const double*> xs;
+  std::vector<double*> ys;
+  xs.reserve(batch.size());
+  ys.reserve(batch.size());
+  for (const Request& r : batch) {
+    xs.push_back(r.x);
+    ys.push_back(r.y);
+    r.stats->queue_latency.record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start -
+                                                             r.enqueued)
+            .count()));
+  }
+  const MatrixRegistry::Entry& entry = *batch.front().entry;
+  MatrixServeStats& stats = *batch.front().stats;
+  try {
+    engine::Executor exec(entry.plan, entry.scratch);
+    exec.multiply_batch(xs, ys);
+    const auto end = std::chrono::steady_clock::now();
+    stats.record_batch(batch.size());
+    stats.dispatch_latency.record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count()));
+    for (Request& r : batch) {
+      // Count before resolving: a client that waits on its future and then
+      // snapshots stats must see its own completion.
+      r.stats->requests_completed.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_value();
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) {
+      r.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
+      r.promise.set_exception(err);
+    }
+  }
+  retire_inflight(batch);
+}
+
+void Scheduler::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      if (stopping_ && discard_) return;  // shutdown() fails the queue
+      batch = collect_batch(lock);
+      if (batch.empty() && !queue_.empty()) {
+        // Everything dispatchable conflicts with a batch in flight on
+        // another dispatcher.  Sleep until the queue state changes (a
+        // batch retires or new work arrives) instead of spinning on the
+        // still-true "queue not empty" predicate.
+        const std::uint64_t seen = epoch_;
+        work_cv_.wait(lock,
+                      [&] { return stopping_ || epoch_ != seen; });
+        continue;
+      }
+    }
+    if (batch.empty()) continue;
+    space_cv_.notify_all();  // the queue shrank; unblock submitters
+    execute_batch(std::move(batch));
+  }
+}
+
+void Scheduler::shutdown(Drain mode) {
+  std::deque<Request> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    ++epoch_;
+    if (mode == Drain::kDiscard) {
+      discard_ = true;
+      discarded.swap(queue_);
+    }
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (Request& r : discarded) {
+    r.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
+    r.promise.set_exception(std::make_exception_ptr(ServeError(
+        ServeErrorCode::kShutdown, "serve: scheduler shut down before "
+                                   "the request was dispatched")));
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!joined_) {
+      joined_ = true;
+      to_join.swap(dispatchers_);
+    }
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+ServeStatsSnapshot Scheduler::stats() const { return stats_.snapshot(); }
+
+}  // namespace spmv::serve

@@ -1,0 +1,185 @@
+// Request-coalescing SpMV scheduler: the serving front door.
+//
+// Williams et al. win SpMV throughput by amortizing per-multiply overheads
+// across work; PR 2/3 built the kernel-level levers (one shared pool,
+// batched multiply, spin-barrier dispatch).  This scheduler extends the
+// same insight to the request level: any number of client threads
+// submit(matrix_id, x, y) and get a future; a dispatcher coalesces queued
+// requests that target the same registry entry into a single
+// Executor::multiply_batch call, so one dispatch/barrier pays for the
+// whole batch.  The knobs are the classic batching-vs-latency tradeoff:
+//
+//   * max_batch    — widest coalesced dispatch (amortization ceiling);
+//   * max_linger   — how long the head request may wait for company
+//                    (latency floor under light load, width under heavy);
+//   * queue_capacity + overflow policy — bounded queue: block the
+//                    submitter (backpressure) or fail fast (kQueueFull).
+//
+// Lifecycle safety comes from the registry's refcounting: submit() pins
+// the entry, so a request races freely with put()/erase() on its name —
+// it executes on the version it resolved, and every future resolves with
+// a value or a defined ServeError.  Results are bit-identical to a direct
+// Executor::multiply on the same plan (the engine's batch path guarantees
+// per-rhs equality, and coalescing never reorders a single request's
+// accumulation).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.h"
+#include "serve/serve_stats.h"
+
+namespace spmv::serve {
+
+enum class ServeErrorCode {
+  kUnknownMatrix,   ///< submit() name not in the registry
+  kInvalidOperand,  ///< short/aliasing x|y (same checks as Executor)
+  kQueueFull,       ///< bounded queue full under OverflowPolicy::kReject
+  kShutdown,        ///< scheduler stopped before the request could run
+};
+
+const char* to_string(ServeErrorCode code);
+
+/// The defined failure type for submit() futures.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ServeErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] ServeErrorCode code() const { return code_; }
+
+ private:
+  ServeErrorCode code_;
+};
+
+struct SchedulerConfig {
+  /// Widest coalesced dispatch.  1 disables batching (useful as the
+  /// unbatched baseline on identical scheduling machinery).
+  std::size_t max_batch = 32;
+  /// How long the oldest queued request may linger waiting for the batch
+  /// to fill before dispatching anyway.  0 dispatches immediately.  The
+  /// window also ends early on stall: when arrivals keep coming but none
+  /// of them target this batch's matrix, lingering cannot widen it (its
+  /// clients are already queued or blocked on us), so it dispatches.
+  std::chrono::microseconds max_linger{100};
+  /// Bounded queue: submits beyond this either block (backpressure) or
+  /// fail fast, per `overflow`.
+  std::size_t queue_capacity = 4096;
+  enum class OverflowPolicy : std::uint8_t { kBlock, kReject };
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Dispatcher threads draining the queue.  More than one lets batches
+  /// for different matrices execute concurrently (they still serialize on
+  /// the engine's dispatch lock for the actual pool work).
+  unsigned dispatch_threads = 1;
+  /// Start with dispatching suspended until resume() — lets tests (and
+  /// warm-up code) enqueue a known set of requests and observe exactly how
+  /// they coalesce.
+  bool start_paused = false;
+};
+
+class Scheduler {
+ public:
+  /// The registry must outlive the scheduler.
+  explicit Scheduler(MatrixRegistry& registry, SchedulerConfig config = {});
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  ~Scheduler();  ///< shutdown(Drain::kDrain)
+
+  /// Enqueue y ← y + A·x against the named matrix and return a future that
+  /// becomes ready when y holds the result (or holds a ServeError).  The
+  /// x/y memory must stay valid and untouched until the future is ready;
+  /// x and y must not alias, and y must be distinct per in-flight request.
+  /// Thread-safe; may block when the queue is full under kBlock.  Must not
+  /// be called from an engine pool worker.
+  std::future<void> submit(const std::string& name, std::span<const double> x,
+                           std::span<double> y);
+
+  /// Same, with the registry lookup already done (pins `entry`): clients
+  /// holding a hot entry skip the name lookup, and requests for a retired
+  /// version still execute.
+  std::future<void> submit(MatrixRegistry::EntryPtr entry,
+                           std::span<const double> x, std::span<double> y);
+
+  /// Begin dispatching when constructed with start_paused.  Idempotent.
+  void resume();
+
+  enum class Drain : std::uint8_t {
+    kDrain,    ///< run every queued request, then stop
+    kDiscard,  ///< fail queued requests with kShutdown, stop now
+  };
+
+  /// Stop the dispatchers.  Safe to call twice; after shutdown every
+  /// submit() fails fast with kShutdown.
+  void shutdown(Drain mode = Drain::kDrain);
+
+  [[nodiscard]] ServeStatsSnapshot stats() const;
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    MatrixRegistry::EntryPtr entry;
+    const double* x = nullptr;
+    double* y = nullptr;
+    std::promise<void> promise;
+    std::shared_ptr<MatrixServeStats> stats;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  /// Pop a batch for the head request's entry (up to max_batch, skipping
+  /// requests whose operands conflict with the batch or with any batch
+  /// another dispatcher is currently executing), honoring the linger
+  /// window.  Registers the collected batch's operands as in-flight.
+  /// Returns empty when stopping with an empty queue, or when every
+  /// candidate is conflict-deferred (wait for the epoch to advance).
+  /// Called with `lock` held.
+  std::vector<Request> collect_batch(std::unique_lock<std::mutex>& lock);
+  void execute_batch(std::vector<Request> batch);
+  /// Drop `batch`'s operands from the in-flight sets, bump the epoch, and
+  /// wake dispatchers whose candidates were conflict-deferred.
+  void retire_inflight(const std::vector<Request>& batch);
+
+  MatrixRegistry& registry_;
+  SchedulerConfig config_;
+  ServeStats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< dispatchers: work or stop
+  std::condition_variable space_cv_;  ///< blocked submitters: space or stop
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;   ///< no new submits; dispatchers wind down
+  bool discard_ = false;    ///< stopping_ without draining
+  /// Queue-state generation: bumped on enqueue, batch completion, resume,
+  /// and shutdown, so a dispatcher whose candidates were all
+  /// conflict-deferred can sleep until something changes instead of
+  /// spinning.
+  std::uint64_t epoch_ = 0;
+  /// Bumped only on enqueue: lets the linger stall-detector tell real
+  /// arrivals apart from retire/resume/spurious condvar wakes (which must
+  /// not end the window early).
+  std::uint64_t enqueue_count_ = 0;
+  /// Operands of batches currently executing on some dispatcher
+  /// (pointer → refcount).  A request conflicts — and stays queued — while
+  /// its y is in either set or its x is an in-flight y, so concurrent
+  /// dispatchers can never race two batches over shared memory.
+  std::map<const double*, unsigned> inflight_xs_;
+  std::map<const double*, unsigned> inflight_ys_;
+  std::vector<std::thread> dispatchers_;
+  bool joined_ = false;
+};
+
+}  // namespace spmv::serve

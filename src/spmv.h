@@ -17,6 +17,11 @@
 //                     implementations on the shared pool.
 // Baselines:          spmv::baseline::OskiLikeMatrix,
 //                     spmv::baseline::PetscLikeSpmv (also engine plans).
+// Serving:            spmv::serve::MatrixRegistry (named, refcounted,
+//                     hot-swappable tuned matrices),
+//                     spmv::serve::Scheduler (async submit() with
+//                     request coalescing into batched dispatches),
+//                     spmv::serve::ServeStats telemetry.
 // Machine model:      spmv::model::Machine, predict(), power efficiency.
 #pragma once
 
@@ -47,3 +52,6 @@
 #include "model/perf_model.h"
 #include "model/power.h"
 #include "model/traffic.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/serve_stats.h"

@@ -312,6 +312,79 @@ TEST(EngineExecutor, ValidatesOperands) {
   EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
 }
 
+TEST(EngineExecutor, ValidatesEveryOperandShape) {
+  // Each documented rejection, separately: short x, short y, x/y aliasing,
+  // and exact-length acceptance — the contract other front-ends (the
+  // serving scheduler) replicate through validate_multiply_operands.
+  const CsrMatrix m = gen::dense(8);
+  TuningOptions opt = TuningOptions::naive();
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  engine::Executor exec(tuned);
+
+  std::vector<double> good_x(8, 1.0), good_y(8, 0.0);
+  std::vector<double> short_x(7, 1.0), short_y(7, 0.0);
+  EXPECT_THROW(exec.multiply(short_x, good_y), std::invalid_argument);
+  EXPECT_THROW(exec.multiply(good_x, short_y), std::invalid_argument);
+  std::vector<double> shared(8, 1.0);
+  EXPECT_THROW(
+      exec.multiply(std::span<const double>(shared), std::span<double>(shared)),
+      std::invalid_argument);
+  EXPECT_NO_THROW(exec.multiply(good_x, good_y));  // exact lengths are legal
+}
+
+TEST(EngineExecutor, ValidatesBatchAliasingAndNulls) {
+  const CsrMatrix m = gen::dense(8);
+  TuningOptions opt = TuningOptions::naive();
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  engine::Executor exec(tuned);
+  std::vector<double> a(8, 1.0), b(8, 1.0), c(8, 0.0), d(8, 0.0);
+
+  {
+    // xs[i] == ys[i]: in-place accumulation inside a batch must be
+    // rejected like multiply()'s aliasing check, not raced.
+    std::vector<const double*> xs = {a.data(), b.data()};
+    std::vector<double*> ys = {c.data(), b.data()};
+    EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
+  }
+  {
+    // Two right-hand sides sharing one destination would accumulate into
+    // the same y concurrently on the single-dispatch path.
+    std::vector<const double*> xs = {a.data(), b.data()};
+    std::vector<double*> ys = {c.data(), c.data()};
+    EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
+  }
+  {
+    std::vector<const double*> xs = {a.data(), nullptr};
+    std::vector<double*> ys = {c.data(), d.data()};
+    EXPECT_THROW(exec.multiply_batch(xs, ys), std::invalid_argument);
+  }
+  {
+    // Disjoint operands pass; repeated xs are legal (x is read-only).
+    std::vector<const double*> xs = {a.data(), a.data()};
+    std::vector<double*> ys = {c.data(), d.data()};
+    EXPECT_NO_THROW(exec.multiply_batch(xs, ys));
+  }
+}
+
+TEST(EngineExecutor, PooledScratchExecutorMatchesPlainExecutor) {
+  // Executor(plan, cache) must behave identically to Executor(plan) while
+  // recycling scratch through the ScratchCache (the serving dispatcher's
+  // per-batch construction path).
+  const CsrMatrix m = gen::uniform_random(500, 480, 6.0, 31);
+  const SegmentedScanSpmv ss(m, 3);  // a plan family that uses scratch
+  engine::ScratchCache cache;
+  const auto x = random_vector(m.cols(), 32);
+  std::vector<double> expected(m.rows(), 0.0);
+  ss.multiply(x, expected);
+
+  for (int round = 0; round < 3; ++round) {
+    engine::Executor exec(ss, cache);
+    std::vector<double> y(m.rows(), 0.0);
+    exec.multiply(x, y);
+    EXPECT_EQ(y, expected) << "round " << round;
+  }
+}
+
 TEST(EngineExecutor, RejectsChainedBatch) {
   // The batch path has no ordering between right-hand sides, so a chained
   // batch (one pair's y feeding another pair's x) must be rejected rather

@@ -217,5 +217,48 @@ TEST(KernelBackends, PlanRecordsPerBlockBackend) {
                            y_auto.size() * sizeof(double)));
 }
 
+TEST(KernelBackends, Avx512RequestPlansAndFallsBackPerBlock) {
+  // Regression for the stubbed registry slot: an explicit
+  // TuningOptions::backend = kAvx512 must plan and multiply without
+  // crashing even though the kAvx512 kernel table is empty, and the
+  // TuningReport must record what actually happened — the resolved
+  // backend plus a per-block fallback (no block can claim kAvx512).
+  const CsrMatrix m = gen::fem_like(220, 3, 9.0, 40, 106);
+  TuningOptions opt = TuningOptions::full(2);
+  opt.tune_prefetch = false;
+  opt.backend = KernelBackend::kAvx512;
+  const TunedMatrix tuned = TunedMatrix::plan(m, opt);
+  const TuningReport& r = tuned.report();
+
+  // The report records the host-resolved request (kAvx512 on AVX-512F
+  // hardware, degraded otherwise), never the raw enum the caller set if
+  // the host cannot run it.
+  EXPECT_EQ(r.backend, resolve_kernel_backend(KernelBackend::kAvx512));
+
+  std::size_t simd = 0;
+  for (const auto& b : r.blocks) {
+    // Empty kernel table: every block fell back off kAvx512, and the
+    // fallback is recorded per block.
+    EXPECT_NE(b.decision.backend, KernelBackend::kAvx512);
+    EXPECT_EQ(b.decision.backend,
+              block_kernel_backend(b.decision.fmt, b.decision.idx,
+                                   b.decision.br, b.decision.bc, r.backend));
+    if (b.decision.backend != KernelBackend::kScalar) ++simd;
+  }
+  EXPECT_EQ(r.blocks_simd, simd);
+
+  // And the fallback executes correctly: bitwise identical to an
+  // explicitly scalar plan of the same matrix.
+  TuningOptions scalar_opt = opt;
+  scalar_opt.backend = KernelBackend::kScalar;
+  const TunedMatrix scalar_tuned = TunedMatrix::plan(m, scalar_opt);
+  const std::vector<double> x = random_vector(m.cols(), 8);
+  std::vector<double> y(m.rows(), 0.5), y_scalar(m.rows(), 0.5);
+  tuned.multiply(x, y);
+  scalar_tuned.multiply(x, y_scalar);
+  EXPECT_EQ(0, std::memcmp(y.data(), y_scalar.data(),
+                           y.size() * sizeof(double)));
+}
+
 }  // namespace
 }  // namespace spmv

@@ -139,6 +139,42 @@ TEST(MatrixMarket, ErrorMessagesCarryLineNumbers) {
   }
 }
 
+TEST(MatrixMarket, MalformedEntryMidFileReportsExactLine) {
+  // Comments and blank lines between entries make the 1-based position
+  // nontrivial; the bad entry ("x 2 1.0") sits on physical line 7 and the
+  // typed MmParseError must say so both in what() and via line().
+  try {
+    parse(
+        "%%MatrixMarket matrix coordinate real general\n"  // line 1
+        "% header comment\n"                               // line 2
+        "3 3 3\n"                                          // line 3
+        "1 1 1.0\n"                                        // line 4
+        "\n"                                               // line 5
+        "% mid-file comment\n"                             // line 6
+        "x 2 1.0\n"                                        // line 7
+        "3 3 2.0\n");
+    FAIL() << "expected MmParseError";
+  } catch (const MmParseError& e) {
+    EXPECT_EQ(e.line(), 7u);
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("malformed entry"),
+              std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, MissingValueMidFileReportsExactLine) {
+  try {
+    parse(
+        "%%MatrixMarket matrix coordinate real general\n"  // line 1
+        "2 2 2\n"                                          // line 2
+        "1 1 1.0\n"                                        // line 3
+        "2 2\n");                                          // line 4: no value
+    FAIL() << "expected MmParseError";
+  } catch (const MmParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip) {
   const CsrMatrix m = gen::uniform_random(40, 30, 5.0, 99);
   std::ostringstream out;
