@@ -19,6 +19,14 @@
 //                 batched-vs-unbatched comparison where batching is the
 //                 only variable.
 //
+// serve-batch and serve-open each run twice: once against matrices planned
+// with batch_mode=kLooped (suffix "-loop": coalesced dispatches still
+// sweep the matrix once per right-hand side) and once with the fused SpMM
+// path (one matrix stream per coalesced chunk).  The "fused x" column on
+// the fused rows is the delivered-GFlop/s ratio against the matching -loop
+// row — the serving-level amortization that batching + fusion buys beyond
+// dispatch coalescing alone.
+//
 // Per point it reports achieved mean/max batch width and queue/dispatch
 // latency percentiles from the scheduler's ServeStats snapshot.  Extra
 // flags: --max_clients=8 (sweep 1,2,4,..), --max_batch=32, --linger_us=100,
@@ -171,16 +179,26 @@ int main(int argc, char** argv) {
   TuningOptions opt = TuningOptions::full(plan_threads);
   opt.tune_prefetch = false;
 
+  // Same matrices twice: planned fused (default auto/fused path) and
+  // planned looped, so the only difference between a mode and its "-loop"
+  // twin is whether coalesced batches stream the matrix once per chunk.
   serve::MatrixRegistry registry;
+  serve::MatrixRegistry registry_loop;
   std::uint64_t nnz_by_matrix[2] = {0, 0};
   for (int i = 0; i < 2; ++i) {
     const CsrMatrix& m = suite.get(kSuiteMatrix);
     nnz_by_matrix[i] = m.nnz();
-    registry.put(kMatrixNames[i], m, opt);
+    TuningOptions fused_opt = opt;
+    fused_opt.batch_mode = BatchExecMode::kFused;
+    registry.put(kMatrixNames[i], m, fused_opt);
+    TuningOptions loop_opt = opt;
+    loop_opt.batch_mode = BatchExecMode::kLooped;
+    registry_loop.put(kMatrixNames[i], m, loop_opt);
   }
 
-  Table table({"mode", "clients", "ops", "ops/s", "GFlop/s", "mean width",
-               "max width", "queue p50 us", "queue p95 us", "disp p50 us"});
+  Table table({"mode", "clients", "ops", "ops/s", "GFlop/s", "fused x",
+               "mean width", "max width", "queue p50 us", "queue p95 us",
+               "disp p50 us"});
 
   std::vector<unsigned> sweep;
   for (unsigned c = 1; c <= max_clients; c *= 2) sweep.push_back(c);
@@ -194,11 +212,14 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 2; ++i) {
       xs[i] = random_vector(suite.get(kSuiteMatrix).cols(), 7 + i);
     }
+    std::vector<ClientPlan> clients_loop(n_clients);
     for (unsigned c = 0; c < n_clients; ++c) {
       const int mi = static_cast<int>(c % 2);
       clients[c].x = &xs[mi];
       clients[c].nnz = nnz_by_matrix[mi];
       clients[c].entry = registry.find(kMatrixNames[mi]);
+      clients_loop[c] = clients[c];
+      clients_loop[c].entry = registry_loop.find(kMatrixNames[mi]);
     }
     // ys[client][slot]: `window` independent destinations per client so
     // open-loop requests never share a y.
@@ -211,6 +232,7 @@ int main(int argc, char** argv) {
     struct ModeResult {
       std::string mode;
       TrafficPoint traffic;
+      double fused_ratio = 0.0;  ///< GFlop/s vs the matching -loop mode
       double mean_width = 1.0;
       std::uint64_t max_width = 1;
       double q50 = 0.0, q95 = 0.0, d50 = 0.0;
@@ -224,22 +246,29 @@ int main(int argc, char** argv) {
       std::size_t batch;
       long linger;
       std::size_t win;
+      bool fused;
+      /// Label of the -loop twin this mode's GFlop/s is compared against.
+      const char* ratio_vs;
     };
     const ServeMode modes[] = {
-        {"serve-1", 1, 0, 1},
-        {"serve-batch", max_batch, linger_us, 1},
-        {"serve-open-1", 1, 0, window},
-        {"serve-open", max_batch, linger_us, window},
+        {"serve-1", 1, 0, 1, false, nullptr},
+        {"serve-batch-loop", max_batch, linger_us, 1, false, nullptr},
+        {"serve-batch", max_batch, linger_us, 1, true, "serve-batch-loop"},
+        {"serve-open-1", 1, 0, window, false, nullptr},
+        {"serve-open-loop", max_batch, linger_us, window, false, nullptr},
+        {"serve-open", max_batch, linger_us, window, true, "serve-open-loop"},
     };
     for (const ServeMode& mode : modes) {
       serve::SchedulerConfig sc;
       sc.max_batch = mode.batch;
       sc.max_linger = std::chrono::microseconds(mode.linger);
       sc.dispatch_threads = dispatchers;
-      serve::Scheduler sched(registry, sc);
+      serve::Scheduler sched(mode.fused ? registry : registry_loop, sc);
       ModeResult r;
       r.mode = mode.label;
-      r.traffic = run_serve(sched, clients, ys, mode.win, point_seconds);
+      r.traffic =
+          run_serve(sched, mode.fused ? clients : clients_loop, ys,
+                    mode.win, point_seconds);
       const serve::ServeStatsSnapshot snap = sched.stats();
       r.mean_width = snap.mean_batch_width();
       for (const auto& m : snap.matrices) {
@@ -260,6 +289,18 @@ int main(int argc, char** argv) {
       r.q50 = queue.quantile_us(0.5);
       r.q95 = queue.quantile_us(0.95);
       r.d50 = disp.quantile_us(0.5);
+      if (mode.ratio_vs != nullptr) {
+        for (const ModeResult& prev : results) {
+          if (prev.mode == mode.ratio_vs && prev.traffic.seconds > 0.0 &&
+              r.traffic.seconds > 0.0 && prev.traffic.flops > 0) {
+            const double own = static_cast<double>(r.traffic.flops) /
+                               r.traffic.seconds;
+            const double base = static_cast<double>(prev.traffic.flops) /
+                                prev.traffic.seconds;
+            r.fused_ratio = own / base;
+          }
+        }
+      }
       results.push_back(std::move(r));
     }
 
@@ -273,6 +314,7 @@ int main(int argc, char** argv) {
            Table::fmt(static_cast<double>(r.traffic.flops) /
                           std::max(1e-9, r.traffic.seconds) / 1e9,
                       3),
+           r.fused_ratio > 0.0 ? Table::fmt(r.fused_ratio) : "-",
            Table::fmt(r.mean_width), std::to_string(r.max_width),
            Table::fmt(r.q50, 0), Table::fmt(r.q95, 0),
            Table::fmt(r.d50, 0)});

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   levels.push_back({"+CB (cache & TLB blocking)", TuningOptions::full(1)});
 
   Table t({"configuration", "cache blocks", "BCOO", "idx16", "simd", "fill",
-           "MiB", "vs CSR"});
+           "MiB", "vs CSR", "fused>="});
   for (const Level& level : levels) {
     const TunedMatrix tuned = TunedMatrix::plan(m, level.opt);
     const TuningReport& r = tuned.report();
@@ -61,7 +61,10 @@ int main(int argc, char** argv) {
                std::to_string(r.blocks_simd),
                Table::fmt(r.fill_ratio, 2),
                Table::fmt(static_cast<double>(r.tuned_bytes) / (1 << 20), 2),
-               Table::fmt(100.0 * r.compression_ratio(), 0) + "%"});
+               Table::fmt(100.0 * r.compression_ratio(), 0) + "%",
+               r.fused_batch_min_width == 0
+                   ? std::string("off")
+                   : std::to_string(r.fused_batch_min_width)});
   }
   t.print(std::cout);
 

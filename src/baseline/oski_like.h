@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/blocked.h"
+#include "core/kernels_block.h"
 #include "engine/spmv_plan.h"
 #include "matrix/csr.h"
 
@@ -76,6 +77,14 @@ class OskiLikeMatrix final : public engine::SpmvPlan {
   [[nodiscard]] unsigned plan_threads() const override { return 1; }
   void execute(const double* x, double* y,
                engine::Scratch* scratch) const override;
+  /// Fused SpMM for batches: the matrix streams once per chunk of up to
+  /// kMaxFusedWidth right-hand sides (packed into scratch panels) instead
+  /// of once per right-hand side.  Scalar kernels, like execute() — the
+  /// OSKI baseline stays deliberately unvectorized — and bit-identical to
+  /// the looped default.
+  void execute_batch(std::span<const double* const> xs,
+                     std::span<double* const> ys,
+                     engine::Scratch* scratch) const override;
 
  private:
   OskiLikeMatrix() = default;
@@ -83,6 +92,7 @@ class OskiLikeMatrix final : public engine::SpmvPlan {
   std::uint32_t rows_ = 0, cols_ = 0;
   OskiDecision decision_;
   EncodedBlock block_;  ///< whole matrix as one uniform block
+  FusedBlockKernels fused_;  ///< resolved at tune time (scalar backend)
 };
 
 }  // namespace spmv::baseline

@@ -277,6 +277,262 @@ SPMV_AVX2 void bcoo_avx2(const EncodedBlock& b, const double* x, double* y,
   }
 }
 
+// ---- Fused multi-vector (SpMM) kernels ----
+//
+// The k packed right-hand sides make the panel the vector dimension:
+// every lane is one rhs's independent accumulation chain, so vectorizing
+// across lanes is bit-safe for every tile shape (no transposes, no
+// gathers — x loads are contiguous k-wide runs).  Multiply and add stay
+// separate intrinsics: with FMA the rounding would diverge from the
+// scalar fused reference.
+
+/// A k-lane accumulator: K ∈ {2, 4, 8} doubles.
+template <unsigned K>
+struct KVec;
+template <>
+struct KVec<2> {
+  __m128d v;
+};
+template <>
+struct KVec<4> {
+  __m256d v;
+};
+template <>
+struct KVec<8> {
+  __m256d lo, hi;
+};
+
+template <unsigned K>
+SPMV_AVX2 inline KVec<K> kv_zero() {
+  if constexpr (K == 2) {
+    return {_mm_setzero_pd()};
+  } else if constexpr (K == 4) {
+    return {_mm256_setzero_pd()};
+  } else {
+    return {_mm256_setzero_pd(), _mm256_setzero_pd()};
+  }
+}
+
+template <unsigned K>
+SPMV_AVX2 inline KVec<K> kv_load(const double* p) {
+  if constexpr (K == 2) {
+    return {_mm_loadu_pd(p)};
+  } else if constexpr (K == 4) {
+    return {_mm256_loadu_pd(p)};
+  } else {
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+  }
+}
+
+template <unsigned K>
+SPMV_AVX2 inline void kv_store(double* p, KVec<K> a) {
+  if constexpr (K == 2) {
+    _mm_storeu_pd(p, a.v);
+  } else if constexpr (K == 4) {
+    _mm256_storeu_pd(p, a.v);
+  } else {
+    _mm256_storeu_pd(p, a.lo);
+    _mm256_storeu_pd(p + 4, a.hi);
+  }
+}
+
+template <unsigned K>
+SPMV_AVX2 inline KVec<K> kv_add(KVec<K> a, KVec<K> b) {
+  if constexpr (K == 2) {
+    return {_mm_add_pd(a.v, b.v)};
+  } else if constexpr (K == 4) {
+    return {_mm256_add_pd(a.v, b.v)};
+  } else {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+}
+
+/// a + s·load(p), multiply and add as separate ops (scalar rounding).
+template <unsigned K>
+SPMV_AVX2 inline KVec<K> kv_muladd(KVec<K> a, double s, const double* p) {
+  if constexpr (K == 2) {
+    return {_mm_add_pd(a.v, _mm_mul_pd(_mm_set1_pd(s), _mm_loadu_pd(p)))};
+  } else if constexpr (K == 4) {
+    return {_mm256_add_pd(
+        a.v, _mm256_mul_pd(_mm256_set1_pd(s), _mm256_loadu_pd(p)))};
+  } else {
+    const __m256d sv = _mm256_set1_pd(s);
+    return {_mm256_add_pd(a.lo, _mm256_mul_pd(sv, _mm256_loadu_pd(p))),
+            _mm256_add_pd(a.hi, _mm256_mul_pd(sv, _mm256_loadu_pd(p + 4)))};
+  }
+}
+
+template <unsigned R, unsigned C, unsigned K, typename Idx>
+SPMV_AVX2 void bcsr_avx2_k(const EncodedBlock& b, const double* x, double* y,
+                           unsigned prefetch_distance, unsigned /*k*/) {
+  const double* v = b.values.data();
+  const Idx* cols = detail::col_array<Idx>(b);
+  const std::uint32_t* rp = b.row_ptr.data();
+  const double* xb = x + static_cast<std::uint64_t>(b.col0) * K;
+  double* yb = y + static_cast<std::uint64_t>(b.row0) * K;
+  const std::uint32_t span = b.row1 - b.row0;
+  const std::uint32_t full_tile_rows = span / R;
+  const std::uint32_t tail_height = span % R;
+  const std::uint64_t pf = prefetch_distance;
+
+  std::uint64_t t = 0;
+  for (std::uint32_t tr = 0; tr < full_tile_rows; ++tr) {
+    const std::uint64_t end = rp[tr + 1];
+    if constexpr (R == 1 && C == 1) {
+      // Four pipelined chains per lane, as in the scalar fused kernel.
+      KVec<K> a0 = kv_zero<K>(), a1 = kv_zero<K>(), a2 = kv_zero<K>(),
+              a3 = kv_zero<K>();
+      for (; t + 4 <= end; t += 4) {
+        if (pf != 0) {
+          __builtin_prefetch(v + t + pf, 0, 0);
+          __builtin_prefetch(cols + t + pf, 0, 0);
+        }
+        a0 = kv_muladd<K>(a0, v[t + 0],
+                          xb + static_cast<std::uint64_t>(cols[t + 0]) * K);
+        a1 = kv_muladd<K>(a1, v[t + 1],
+                          xb + static_cast<std::uint64_t>(cols[t + 1]) * K);
+        a2 = kv_muladd<K>(a2, v[t + 2],
+                          xb + static_cast<std::uint64_t>(cols[t + 2]) * K);
+        a3 = kv_muladd<K>(a3, v[t + 3],
+                          xb + static_cast<std::uint64_t>(cols[t + 3]) * K);
+      }
+      for (; t < end; ++t) {
+        a0 = kv_muladd<K>(a0, v[t],
+                          xb + static_cast<std::uint64_t>(cols[t]) * K);
+      }
+      double* ys = yb + static_cast<std::uint64_t>(tr) * K;
+      kv_store<K>(ys, kv_add<K>(kv_load<K>(ys),
+                                kv_add<K>(kv_add<K>(a0, a1),
+                                          kv_add<K>(a2, a3))));
+    } else {
+      KVec<K> acc[R];
+      for (unsigned i = 0; i < R; ++i) acc[i] = kv_zero<K>();
+      for (; t < end; ++t) {
+        if (pf != 0) {
+          __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
+          __builtin_prefetch(cols + t + pf, 0, 0);
+        }
+        const double* tile = v + t * R * C;
+        const double* xs = xb + static_cast<std::uint64_t>(cols[t]) * K;
+        for (unsigned i = 0; i < R; ++i) {
+          KVec<K> a = kv_zero<K>();
+          for (unsigned c = 0; c < C; ++c) {
+            a = kv_muladd<K>(a, tile[i * C + c],
+                             xs + static_cast<std::uint64_t>(c) * K);
+          }
+          acc[i] = kv_add<K>(acc[i], a);
+        }
+      }
+      double* ys = yb + static_cast<std::uint64_t>(tr) * R * K;
+      for (unsigned i = 0; i < R; ++i) {
+        double* yr = ys + static_cast<std::uint64_t>(i) * K;
+        kv_store<K>(yr, kv_add<K>(kv_load<K>(yr), acc[i]));
+      }
+    }
+  }
+  if (tail_height != 0) {
+    const std::uint64_t end = rp[full_tile_rows + 1];
+    KVec<K> acc[R];
+    for (unsigned i = 0; i < R; ++i) acc[i] = kv_zero<K>();
+    for (; t < end; ++t) {
+      const double* tile = v + t * R * C;
+      const double* xs = xb + static_cast<std::uint64_t>(cols[t]) * K;
+      for (unsigned i = 0; i < R; ++i) {
+        KVec<K> a = kv_zero<K>();
+        for (unsigned c = 0; c < C; ++c) {
+          a = kv_muladd<K>(a, tile[i * C + c],
+                           xs + static_cast<std::uint64_t>(c) * K);
+        }
+        acc[i] = kv_add<K>(acc[i], a);
+      }
+    }
+    double* ys = yb + static_cast<std::uint64_t>(full_tile_rows) * R * K;
+    for (unsigned i = 0; i < tail_height; ++i) {
+      double* yr = ys + static_cast<std::uint64_t>(i) * K;
+      kv_store<K>(yr, kv_add<K>(kv_load<K>(yr), acc[i]));
+    }
+  }
+}
+
+template <unsigned R, unsigned C, unsigned K, typename Idx>
+SPMV_AVX2 void bcoo_avx2_k(const EncodedBlock& b, const double* x, double* y,
+                           unsigned prefetch_distance, unsigned /*k*/) {
+  const double* v = b.values.data();
+  const Idx* cols = detail::col_array<Idx>(b);
+  const Idx* brows = detail::brow_array<Idx>(b);
+  const double* xb = x + static_cast<std::uint64_t>(b.col0) * K;
+  double* yb = y + static_cast<std::uint64_t>(b.row0) * K;
+  const std::uint64_t tiles = b.tiles;
+  const std::uint64_t pf = prefetch_distance;
+
+  for (std::uint64_t t = 0; t < tiles; ++t) {
+    if (pf != 0) {
+      __builtin_prefetch(v + (t + pf) * R * C, 0, 0);
+      __builtin_prefetch(cols + t + pf, 0, 0);
+      __builtin_prefetch(brows + t + pf, 0, 0);
+    }
+    const double* tile = v + t * R * C;
+    const double* xs = xb + static_cast<std::uint64_t>(cols[t]) * K;
+    double* ys = yb + static_cast<std::uint64_t>(brows[t]) * K;
+    // Sequential read-modify-write per row, so overlapping edge tiles
+    // still accumulate in the scalar order.
+    for (unsigned i = 0; i < R; ++i) {
+      KVec<K> a = kv_zero<K>();
+      for (unsigned c = 0; c < C; ++c) {
+        a = kv_muladd<K>(a, tile[i * C + c],
+                         xs + static_cast<std::uint64_t>(c) * K);
+      }
+      double* yr = ys + static_cast<std::uint64_t>(i) * K;
+      kv_store<K>(yr, kv_add<K>(kv_load<K>(yr), a));
+    }
+  }
+}
+
+// Fused registry: every shape is covered at K ∈ {2, 4, 8} (see the header
+// note — the panel supplies the vector dimension).
+template <typename Idx, unsigned K>
+struct Avx2KernelsK {
+  static constexpr BlockKernelKFn bcsr[3][3] = {
+      {bcsr_avx2_k<1, 1, K, Idx>, bcsr_avx2_k<1, 2, K, Idx>,
+       bcsr_avx2_k<1, 4, K, Idx>},
+      {bcsr_avx2_k<2, 1, K, Idx>, bcsr_avx2_k<2, 2, K, Idx>,
+       bcsr_avx2_k<2, 4, K, Idx>},
+      {bcsr_avx2_k<4, 1, K, Idx>, bcsr_avx2_k<4, 2, K, Idx>,
+       bcsr_avx2_k<4, 4, K, Idx>},
+  };
+  static constexpr BlockKernelKFn bcoo[3][3] = {
+      {bcoo_avx2_k<1, 1, K, Idx>, bcoo_avx2_k<1, 2, K, Idx>,
+       bcoo_avx2_k<1, 4, K, Idx>},
+      {bcoo_avx2_k<2, 1, K, Idx>, bcoo_avx2_k<2, 2, K, Idx>,
+       bcoo_avx2_k<2, 4, K, Idx>},
+      {bcoo_avx2_k<4, 1, K, Idx>, bcoo_avx2_k<4, 2, K, Idx>,
+       bcoo_avx2_k<4, 4, K, Idx>},
+  };
+};
+
+template <unsigned K>
+BlockKernelKFn avx2_lookup_k_width(BlockFormat fmt, IndexWidth idx, int rs,
+                                   int cs) {
+  if (idx == IndexWidth::k16) {
+    return fmt == BlockFormat::kBcsr
+               ? Avx2KernelsK<std::uint16_t, K>::bcsr[rs][cs]
+               : Avx2KernelsK<std::uint16_t, K>::bcoo[rs][cs];
+  }
+  return fmt == BlockFormat::kBcsr
+             ? Avx2KernelsK<std::uint32_t, K>::bcsr[rs][cs]
+             : Avx2KernelsK<std::uint32_t, K>::bcoo[rs][cs];
+}
+
+BlockKernelKFn avx2_lookup_k(BlockFormat fmt, IndexWidth idx, int rs, int cs,
+                             unsigned k) {
+  switch (k) {
+    case 2: return avx2_lookup_k_width<2>(fmt, idx, rs, cs);
+    case 4: return avx2_lookup_k_width<4>(fmt, idx, rs, cs);
+    case 8: return avx2_lookup_k_width<8>(fmt, idx, rs, cs);
+    default: return nullptr;  // runtime widths run the scalar fused kernel
+  }
+}
+
 // Registry: [idx][row slot][col slot], nullptr = no specialization (shape
 // falls back to scalar).  1×2 has no vector form at all; 1×1/1×2 BCOO
 // would need scattered single-element writes AVX2 cannot express.
@@ -368,6 +624,30 @@ BlockKernelFn simd_block_kernel(KernelBackend backend, BlockFormat fmt,
       // AVX-512F hook: table reserved, no kernels registered yet.  When
       // they land, mirror avx2_lookup here and let resolve_kernel_backend
       // auto-select the backend.
+      return nullptr;
+    case KernelBackend::kAuto:
+    case KernelBackend::kScalar:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+BlockKernelKFn simd_block_kernel_k(KernelBackend backend, BlockFormat fmt,
+                                   IndexWidth idx, unsigned br, unsigned bc,
+                                   unsigned k) {
+  const int rs = detail::tile_dim_slot(br);
+  const int cs = detail::tile_dim_slot(bc);
+  if (rs < 0 || cs < 0) return nullptr;
+  switch (backend) {
+    case KernelBackend::kAvx2:
+#if defined(SPMV_X86)
+      return avx2_lookup_k(fmt, idx, rs, cs, k);
+#else
+      (void)k;
+      return nullptr;
+#endif
+    case KernelBackend::kAvx512:
+      // Same stub as the single-vector table: reserved, no kernels yet.
       return nullptr;
     case KernelBackend::kAuto:
     case KernelBackend::kScalar:

@@ -47,4 +47,14 @@ KernelBackend resolve_kernel_backend(KernelBackend requested);
 BlockKernelFn simd_block_kernel(KernelBackend backend, BlockFormat fmt,
                                 IndexWidth idx, unsigned br, unsigned bc);
 
+/// The registered fused SpMM kernel for (backend, fmt, idx, br, bc) at
+/// panel width `k`, or nullptr when unregistered.  AVX2 covers every tile
+/// shape at k ∈ {2, 4, 8}: unlike the single-vector case, the k packed
+/// right-hand sides give every shape a contiguous vector dimension, so
+/// even 1×1/1×2 BCOO (scalar-only single-vector) vectorize fused.  Other
+/// widths return nullptr (the runtime-width scalar kernel serves them).
+BlockKernelKFn simd_block_kernel_k(KernelBackend backend, BlockFormat fmt,
+                                   IndexWidth idx, unsigned br, unsigned bc,
+                                   unsigned k);
+
 }  // namespace spmv

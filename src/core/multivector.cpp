@@ -2,17 +2,35 @@
 
 #include <stdexcept>
 
-#include "core/tuner.h"
+#include "core/encode.h"
 #include "engine/execution_context.h"
 
 namespace spmv {
 
-MultiVectorSpmv::MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads,
+MultiVectorSpmv::MultiVectorSpmv(const CsrMatrix& a, unsigned k,
+                                 unsigned threads,
                                  engine::ExecutionContext* ctx)
-    : matrix_(std::move(a)), k_(k), ctx_(&engine::context_or_global(ctx)) {
+    : rows_(a.rows()),
+      cols_(a.cols()),
+      nnz_(a.nnz()),
+      k_(k),
+      ctx_(&engine::context_or_global(ctx)) {
   if (k == 0) throw std::invalid_argument("MultiVectorSpmv: k == 0");
   if (threads == 0) throw std::invalid_argument("MultiVectorSpmv: threads");
-  thread_rows_ = partition_rows_by_nnz(matrix_, threads);
+  thread_rows_ = partition_rows_by_nnz(a, threads);
+  blocks_.reserve(thread_rows_.size());
+  kernels_.reserve(thread_rows_.size());
+  for (const RowRange& range : thread_rows_) {
+    const BlockExtent ext{range.begin, range.end, 0, a.cols()};
+    const IndexWidth idx =
+        index_width_fits16(a, ext, 1, 1, BlockFormat::kBcsr)
+            ? IndexWidth::k16
+            : IndexWidth::k32;
+    blocks_.push_back(
+        encode_block(a, ext, 1, 1, BlockFormat::kBcsr, idx));
+    kernels_.push_back(fused_block_kernels(BlockFormat::kBcsr, idx, 1, 1,
+                                           KernelBackend::kAuto));
+  }
 }
 
 MultiVectorSpmv::MultiVectorSpmv(MultiVectorSpmv&&) noexcept = default;
@@ -23,58 +41,18 @@ MultiVectorSpmv::~MultiVectorSpmv() = default;
 double MultiVectorSpmv::flop_byte_amplification() const {
   // Single-vector: 2 flops per (12-byte) nonzero.  k vectors: 2k flops for
   // the same matrix bytes plus k-fold vector traffic.
-  const double nnz = static_cast<double>(matrix_.nnz());
+  const double nnz = static_cast<double>(nnz_);
   const double vec =
-      8.0 * (static_cast<double>(matrix_.cols()) + 2.0 * matrix_.rows());
+      8.0 * (static_cast<double>(cols_) + 2.0 * rows_);
   const double single = 2.0 * nnz / (12.0 * nnz + vec);
   const double multi =
       2.0 * nnz * k_ / (12.0 * nnz + vec * k_);
   return multi / single;
 }
 
-namespace {
-
-template <unsigned K>
-void sweep_fixed(const CsrMatrix& m, std::uint32_t r0, std::uint32_t r1,
-                 const double* x, double* y) {
-  const auto rp = m.row_ptr();
-  const auto ci = m.col_idx();
-  const auto v = m.values();
-  for (std::uint32_t r = r0; r < r1; ++r) {
-    double acc[K] = {};
-    for (std::uint64_t e = rp[r]; e < rp[r + 1]; ++e) {
-      const double a = v[e];
-      const double* xs = x + static_cast<std::uint64_t>(ci[e]) * K;
-      for (unsigned j = 0; j < K; ++j) acc[j] += a * xs[j];
-    }
-    double* ys = y + static_cast<std::uint64_t>(r) * K;
-    for (unsigned j = 0; j < K; ++j) ys[j] += acc[j];
-  }
-}
-
-void sweep_generic(const CsrMatrix& m, unsigned k, std::uint32_t r0,
-                   std::uint32_t r1, const double* x, double* y) {
-  const auto rp = m.row_ptr();
-  const auto ci = m.col_idx();
-  const auto v = m.values();
-  // Accumulate directly into y to avoid a variable-length local buffer.
-  for (std::uint32_t r = r0; r < r1; ++r) {
-    double* ys = y + static_cast<std::uint64_t>(r) * k;
-    for (std::uint64_t e = rp[r]; e < rp[r + 1]; ++e) {
-      const double a = v[e];
-      const double* xs = x + static_cast<std::uint64_t>(ci[e]) * k;
-      for (unsigned j = 0; j < k; ++j) ys[j] += a * xs[j];
-    }
-  }
-}
-
-}  // namespace
-
 void MultiVectorSpmv::multiply(std::span<const double> x,
                                std::span<double> y) const {
-  const std::uint64_t need_x = static_cast<std::uint64_t>(matrix_.cols()) * k_;
-  const std::uint64_t need_y = static_cast<std::uint64_t>(matrix_.rows()) * k_;
-  if (x.size() < need_x || y.size() < need_y) {
+  if (x.size() < x_elements() || y.size() < y_elements()) {
     throw std::invalid_argument("MultiVectorSpmv::multiply: short operand");
   }
   if (x.data() == y.data()) {
@@ -85,16 +63,11 @@ void MultiVectorSpmv::multiply(std::span<const double> x,
 
 void MultiVectorSpmv::execute(const double* x, double* y,
                               engine::Scratch* /*scratch*/) const {
+  // The operands are already row-major k-wide panels, so this is the fused
+  // batch path minus the packing: each worker runs the width-k kernel over
+  // its encoded block (disjoint row ranges, no scratch needed).
   auto work = [&](unsigned t) {
-    const RowRange range = thread_rows_[t];
-    switch (k_) {
-      case 1: sweep_fixed<1>(matrix_, range.begin, range.end, x, y); break;
-      case 2: sweep_fixed<2>(matrix_, range.begin, range.end, x, y); break;
-      case 4: sweep_fixed<4>(matrix_, range.begin, range.end, x, y); break;
-      case 8: sweep_fixed<8>(matrix_, range.begin, range.end, x, y); break;
-      default:
-        sweep_generic(matrix_, k_, range.begin, range.end, x, y);
-    }
+    kernels_[t].for_width(k_)(blocks_[t], x, y, /*prefetch_distance=*/0, k_);
   };
   ctx_->parallel_for(plan_threads(), work, /*pin=*/false);
 }

@@ -8,13 +8,21 @@
 // flops per nonzero instead of 2.
 //
 // X and Y are row-major (vector index fastest), so a nonzero's k products
-// are one contiguous SIMD-friendly run.  The inner width-k loop is
-// specialized for k in {1, 2, 4, 8} and falls back to a generic loop.
+// are one contiguous SIMD-friendly run.  The sweep itself is the engine's
+// fused SpMM kernel set (core/kernels_block.h) — the same kernels the
+// batched execute_batch() panel path dispatches, so there is exactly one
+// SpMM inner-loop implementation in the library.  This plan's operands
+// simply ARE panels already, so it runs the kernels with no packing step:
+// the matrix is encoded per thread as 1×1 BCSR blocks (16-bit indices
+// where they fit) and each worker runs the width-k fused kernel over its
+// block (SIMD-specialized for k in {2, 4, 8}, runtime-width otherwise).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/blocked.h"
+#include "core/kernels_block.h"
 #include "core/partition.h"
 #include "engine/spmv_plan.h"
 #include "matrix/csr.h"
@@ -24,9 +32,10 @@ namespace spmv {
 class MultiVectorSpmv final : public engine::SpmvPlan {
  public:
   /// Plan for `k` simultaneous vectors on `threads` threads.  The matrix
-  /// is copied in.  The plan borrows `ctx`'s worker pool (nullptr: the
-  /// global context).
-  MultiVectorSpmv(CsrMatrix a, unsigned k, unsigned threads = 1,
+  /// is encoded into per-thread blocks (the CSR input is not retained,
+  /// hence by reference — no copy).  The plan borrows `ctx`'s worker pool
+  /// (nullptr: the global context).
+  MultiVectorSpmv(const CsrMatrix& a, unsigned k, unsigned threads = 1,
                   engine::ExecutionContext* ctx = nullptr);
 
   MultiVectorSpmv(MultiVectorSpmv&&) noexcept;
@@ -38,8 +47,8 @@ class MultiVectorSpmv final : public engine::SpmvPlan {
   /// calls (workers write disjoint row ranges).
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  [[nodiscard]] std::uint32_t rows() const override { return matrix_.rows(); }
-  [[nodiscard]] std::uint32_t cols() const override { return matrix_.cols(); }
+  [[nodiscard]] std::uint32_t rows() const override { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const override { return cols_; }
   [[nodiscard]] unsigned vectors() const { return k_; }
 
   /// Model flop:byte of the k-vector sweep relative to single-vector
@@ -48,10 +57,10 @@ class MultiVectorSpmv final : public engine::SpmvPlan {
 
   // engine::SpmvPlan — operands carry k interleaved vectors.
   [[nodiscard]] std::uint64_t x_elements() const override {
-    return static_cast<std::uint64_t>(matrix_.cols()) * k_;
+    return static_cast<std::uint64_t>(cols_) * k_;
   }
   [[nodiscard]] std::uint64_t y_elements() const override {
-    return static_cast<std::uint64_t>(matrix_.rows()) * k_;
+    return static_cast<std::uint64_t>(rows_) * k_;
   }
   [[nodiscard]] unsigned plan_threads() const override {
     return static_cast<unsigned>(thread_rows_.size());
@@ -63,9 +72,12 @@ class MultiVectorSpmv final : public engine::SpmvPlan {
                engine::Scratch* scratch) const override;
 
  private:
-  CsrMatrix matrix_;
+  std::uint32_t rows_ = 0, cols_ = 0;
+  std::uint64_t nnz_ = 0;
   unsigned k_ = 1;
   std::vector<RowRange> thread_rows_;
+  std::vector<EncodedBlock> blocks_;        ///< one 1×1 BCSR block per thread
+  std::vector<FusedBlockKernels> kernels_;  ///< resolved at plan time
   engine::ExecutionContext* ctx_ = nullptr;
 };
 

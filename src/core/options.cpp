@@ -31,4 +31,13 @@ const char* to_string(WaitMode mode) {
   return "?";
 }
 
+const char* to_string(BatchExecMode mode) {
+  switch (mode) {
+    case BatchExecMode::kAuto: return "auto";
+    case BatchExecMode::kFused: return "fused";
+    case BatchExecMode::kLooped: return "looped";
+  }
+  return "?";
+}
+
 }  // namespace spmv

@@ -9,6 +9,7 @@
 #include "core/kernels_block.h"
 #include "core/kernels_simd.h"
 #include "engine/execution_context.h"
+#include "engine/executor.h"
 #include "util/cpu.h"
 #include "util/timer.h"
 
@@ -23,7 +24,13 @@ std::string TuningReport::summary() const {
      << ", bcoo=" << blocks_bcoo << ", idx16=" << blocks_idx16
      << ", register-blocked=" << blocks_register_blocked
      << ", backend=" << to_string(backend) << " (" << blocks_simd << "/"
-     << cache_blocks << " blocks simd), prefetch=" << prefetch_distance;
+     << cache_blocks << " blocks simd), prefetch=" << prefetch_distance
+     << ", fused-batch>=";
+  if (fused_batch_min_width == 0) {
+    os << "off";
+  } else {
+    os << fused_batch_min_width;
+  }
   return os.str();
 }
 
@@ -108,13 +115,17 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
   // through (resolved once here instead of per block per multiply).
   std::uint64_t stored = 0, true_nnz = 0;
   m.kernels_.resize(opt.threads);
+  m.fused_kernels_.resize(opt.threads);
   for (unsigned t = 0; t < opt.threads; ++t) {
     m.kernels_[t].reserve(m.blocks_[t].size());
+    m.fused_kernels_[t].reserve(m.blocks_[t].size());
     for (std::size_t b = 0; b < m.blocks_[t].size(); ++b) {
       const EncodedBlock& blk = m.blocks_[t][b];
       const PlannedBlock& pb = planned[t][b];
       m.kernels_[t].push_back(block_kernel(blk.fmt, blk.idx, blk.br, blk.bc,
                                            m.report_.backend));
+      m.fused_kernels_[t].push_back(fused_block_kernels(
+          blk.fmt, blk.idx, blk.br, blk.bc, m.report_.backend));
       m.report_.tuned_bytes += blk.footprint_bytes();
       stored += blk.stored_nnz;
       true_nnz += blk.true_nnz;
@@ -134,6 +145,34 @@ TunedMatrix TunedMatrix::plan(const CsrMatrix& a, const TuningOptions& opt) {
   m.report_.fill_ratio =
       true_nnz == 0 ? 1.0
                     : static_cast<double>(stored) / static_cast<double>(true_nnz);
+
+  // Fused-batch crossover (§2.1 "multiple vectors"): fusing a width-k
+  // chunk streams the encoded matrix once instead of k times, saving
+  // (k-1)·tuned_bytes, and pays for packing/unpacking the operand panels —
+  // about one extra stream of the x panel and two of the y panel,
+  // 8·k·(cols + 2·rows) bytes.  Record the smallest width where the saving
+  // wins; for hypersparse matrices (nnz ≈ rows) no width qualifies and
+  // fusion stays off.
+  switch (opt.batch_mode) {
+    case BatchExecMode::kLooped:
+      break;  // fused_batch_min_width stays 0
+    case BatchExecMode::kFused:
+      m.report_.fused_batch_min_width = 2;
+      break;
+    case BatchExecMode::kAuto: {
+      const std::uint64_t panel_bytes =
+          8ull * (static_cast<std::uint64_t>(a.cols()) +
+                  2ull * static_cast<std::uint64_t>(a.rows()));
+      for (unsigned k = 2; k <= kMaxFusedWidth; ++k) {
+        if (static_cast<std::uint64_t>(k - 1) * m.report_.tuned_bytes >
+            static_cast<std::uint64_t>(k) * panel_bytes) {
+          m.report_.fused_batch_min_width = k;
+          break;
+        }
+      }
+      break;
+    }
+  }
 
   // 5. Prefetch-distance tuning (paper §4.1: distance searched from 0 to a
   // page).  Try a small ladder of distances with real multiplies and keep
@@ -200,9 +239,16 @@ void TunedMatrix::execute(const double* x, double* y,
       opt_.pin_threads, opt_.wait_mode);
 }
 
-void TunedMatrix::execute_batch(std::span<const double* const> xs,
-                                std::span<double* const> ys,
-                                engine::Scratch* scratch) const {
+void TunedMatrix::multiply_batch_looped(
+    std::span<const double* const> xs,
+    std::span<double* const> ys) const {
+  engine::validate_batch_operands(*this, xs, ys);
+  execute_batch_looped(xs, ys, nullptr);
+}
+
+void TunedMatrix::execute_batch_looped(std::span<const double* const> xs,
+                                       std::span<double* const> ys,
+                                       engine::Scratch* scratch) const {
   if (opt_.threads <= 1) {
     engine::SpmvPlan::execute_batch(xs, ys, scratch);
     return;
@@ -218,6 +264,50 @@ void TunedMatrix::execute_batch(std::span<const double* const> xs,
         }
       },
       opt_.pin_threads, opt_.wait_mode);
+}
+
+void TunedMatrix::fused_sweep(const double* xp, double* yp,
+                              unsigned w) const {
+  const unsigned pf = opt_.prefetch_distance;
+  auto sweep_thread = [this, xp, yp, w, pf](unsigned t) {
+    for (std::size_t b = 0; b < blocks_[t].size(); ++b) {
+      fused_kernels_[t][b].for_width(w)(blocks_[t][b], xp, yp, pf, w);
+    }
+  };
+  if (opt_.threads <= 1) {
+    for (unsigned t = 0; t < static_cast<unsigned>(blocks_.size()); ++t) {
+      sweep_thread(t);
+    }
+    return;
+  }
+  // Workers write disjoint yp row ranges (cache blocks never cross thread
+  // row partitions), so one dispatch per chunk suffices.
+  ctx_->parallel_for(opt_.threads, sweep_thread, opt_.pin_threads,
+                     opt_.wait_mode);
+}
+
+void TunedMatrix::execute_batch(std::span<const double* const> xs,
+                                std::span<double* const> ys,
+                                engine::Scratch* scratch) const {
+  const unsigned min_width = report_.fused_batch_min_width;
+  if (scratch == nullptr || min_width == 0 || xs.size() < min_width) {
+    execute_batch_looped(xs, ys, scratch);
+    return;
+  }
+  // With a SIMD backend every fused kernel is vectorized at widths
+  // {2, 4, 8}, so decomposing ragged remainders into those widths beats
+  // one scalar runtime-width sweep; on scalar backends the single sweep
+  // (fewer matrix streams) wins.
+  const bool decompose_ragged = report_.backend != KernelBackend::kScalar;
+  engine::run_fused_batch(
+      xs, ys, report_.rows, report_.cols, min_width, kMaxFusedWidth,
+      decompose_ragged, *scratch,
+      [this](const double* xp, double* yp, unsigned w) {
+        fused_sweep(xp, yp, w);
+      },
+      [this, scratch](const double* x, double* y) {
+        execute(x, y, scratch);
+      });
 }
 
 }  // namespace spmv

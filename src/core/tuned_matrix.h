@@ -60,6 +60,12 @@ struct TuningReport {
   /// Prefetch distance in effect after planning (tuned when
   /// options.tune_prefetch is set).
   unsigned prefetch_distance = 0;
+  /// Fused-batch crossover the planner decided: the smallest batch width
+  /// at which execute_batch() packs operands into panels and runs the
+  /// fused SpMM sweep (one matrix stream per chunk) instead of looping
+  /// single multiplies.  0 = fusion off — packing would cost more than the
+  /// re-streams it saves (hypersparse matrices, or batch_mode = kLooped).
+  unsigned fused_batch_min_width = 0;
   double plan_seconds = 0.0;
 
   [[nodiscard]] double compression_ratio() const {
@@ -87,6 +93,14 @@ class TunedMatrix final : public engine::SpmvPlan {
   /// row ranges and dispatches serialize on the shared ExecutionContext.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
+  /// The batched-looped path regardless of the fused crossover: one
+  /// dispatch, each worker re-streaming its blocks once per right-hand
+  /// side (what execute_batch did before fusion existed).  Same operand
+  /// contract as Executor::multiply_batch.  Benches use it to measure
+  /// what fusion adds without planning a second copy of the matrix.
+  void multiply_batch_looped(std::span<const double* const> xs,
+                             std::span<double* const> ys) const;
+
   [[nodiscard]] std::uint32_t rows() const override { return report_.rows; }
   [[nodiscard]] std::uint32_t cols() const override { return report_.cols; }
   [[nodiscard]] std::uint64_t nnz() const { return report_.nnz; }
@@ -102,10 +116,16 @@ class TunedMatrix final : public engine::SpmvPlan {
   }
   void execute(const double* x, double* y,
                engine::Scratch* scratch) const override;
-  /// Single dispatch for the whole batch: each worker sweeps its blocks
-  /// over every right-hand side, so the barrier cost is paid once.  There
-  /// is no ordering between right-hand sides — no xs[j] may alias any
-  /// ys[i] (the Executor front-end enforces this).
+  /// Batched execution with two amortization levers.  Batches at or above
+  /// report().fused_batch_min_width run fused: the batch is packed into
+  /// k-wide panels (scratch-resident, allocation-free in steady state) and
+  /// each worker streams its blocks ONCE per chunk, applying every nonzero
+  /// to all k right-hand sides — the §2.1 "multiple vectors" optimization.
+  /// Narrower batches (or fusion off) fall back to a single dispatch that
+  /// sweeps each right-hand side per worker, amortizing only the barrier.
+  /// Both paths are bit-identical to looped multiply() calls.  There is no
+  /// ordering between right-hand sides — no xs[j] may alias any ys[i]
+  /// (the Executor front-end enforces this).
   void execute_batch(std::span<const double* const> xs,
                      std::span<double* const> ys,
                      engine::Scratch* scratch) const override;
@@ -113,14 +133,22 @@ class TunedMatrix final : public engine::SpmvPlan {
  private:
   TunedMatrix() = default;
 
+  void execute_batch_looped(std::span<const double* const> xs,
+                            std::span<double* const> ys,
+                            engine::Scratch* scratch) const;
+  /// One fused sweep of every block over a w-wide panel pair.
+  void fused_sweep(const double* xp, double* yp, unsigned w) const;
+
   TuningOptions opt_;
   TuningReport report_;
   /// blocks_[t] are the encoded cache blocks owned by worker t;
   /// kernels_[t][b] is blocks_[t][b]'s kernel, resolved once at plan time
   /// (backend lookup + per-shape fallback) so multiply dispatches straight
-  /// through the pointer.
+  /// through the pointer; fused_kernels_[t][b] are its fused SpMM kernels
+  /// for the batch panel widths.
   std::vector<std::vector<EncodedBlock>> blocks_;
   std::vector<std::vector<BlockKernelFn>> kernels_;
+  std::vector<std::vector<FusedBlockKernels>> fused_kernels_;
   std::vector<RowRange> thread_rows_;
   engine::ExecutionContext* ctx_ = nullptr;
 };

@@ -4,8 +4,9 @@
 // and performs operand validation, so a server gives each worker thread its
 // own (cheap) Executor over the one planned matrix.  multiply_batch() is
 // the server-side amortization lever: one dispatch/barrier pays for many
-// right-hand sides instead of one (see bench/bench_engine_batch.cpp for
-// the measured effect).
+// right-hand sides instead of one, and on plans with a fused SpMM path the
+// matrix itself streams once per chunk of right-hand sides instead of once
+// per multiply (see bench/bench_engine_batch.cpp for the measured effect).
 #pragma once
 
 #include <memory>
