@@ -1,19 +1,19 @@
 #include "baseline/petsc_like.h"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "core/partition.h"
 #include "engine/execution_context.h"
+#include "util/thread_annotations.h"
 #include "matrix/coo.h"
 #include "util/timer.h"
 
 namespace spmv::baseline {
 
 struct PetscLikeSpmv::StatsState {
-  std::mutex mutex;
-  PetscLikeStats totals;
+  Mutex mutex;
+  PetscLikeStats totals SPMV_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -42,7 +42,12 @@ PetscLikeSpmv PetscLikeSpmv::distribute(const CsrMatrix& a, unsigned ranks,
   // sliced so that rank p owns x[col range p] (square matrices: same split).
   const std::vector<RowRange> row_parts = partition_rows_equal(a.rows(), ranks);
   const std::vector<RowRange> col_parts = partition_rows_equal(a.cols(), ranks);
-  s.stats_->totals.imbalance = partition_imbalance(a, row_parts);
+  {
+    // `s` is still private to this factory, but totals is lock-guarded and
+    // distribute() is not a constructor, so honor the contract.
+    MutexLock lock(s.stats_->mutex);
+    s.stats_->totals.imbalance = partition_imbalance(a, row_parts);
+  }
 
   const auto row_ptr = a.row_ptr();
   const auto col_idx = a.col_idx();
@@ -105,7 +110,7 @@ PetscLikeSpmv& PetscLikeSpmv::operator=(PetscLikeSpmv&&) noexcept = default;
 PetscLikeSpmv::~PetscLikeSpmv() = default;
 
 PetscLikeStats PetscLikeSpmv::stats() const {
-  std::lock_guard<std::mutex> lock(stats_->mutex);
+  MutexLock lock(stats_->mutex);
   return stats_->totals;
 }
 
@@ -180,13 +185,13 @@ void PetscLikeSpmv::execute(const double* x, double* y,
     compute_seconds += compute_s[p];
   }
 
-  std::lock_guard<std::mutex> lock(stats_->mutex);
+  MutexLock lock(stats_->mutex);
   stats_->totals.comm_seconds += comm_seconds;
   stats_->totals.compute_seconds += compute_seconds;
 }
 
 void PetscLikeSpmv::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_->mutex);
+  MutexLock lock(stats_->mutex);
   const double imbalance = stats_->totals.imbalance;
   stats_->totals = PetscLikeStats{};
   stats_->totals.imbalance = imbalance;

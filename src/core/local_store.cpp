@@ -3,17 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "core/partition.h"
 #include "engine/execution_context.h"
+#include "util/thread_annotations.h"
 
 namespace spmv {
 
 struct LocalStoreSpmv::StatsState {
-  std::mutex mutex;
-  DmaStats totals;
+  Mutex mutex;
+  DmaStats totals SPMV_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -130,12 +130,12 @@ double LocalStoreSpmv::bytes_per_nnz() const {
 }
 
 DmaStats LocalStoreSpmv::stats() const {
-  std::lock_guard<std::mutex> lock(stats_->mutex);
+  MutexLock lock(stats_->mutex);
   return stats_->totals;
 }
 
 void LocalStoreSpmv::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_->mutex);
+  MutexLock lock(stats_->mutex);
   stats_->totals = DmaStats{};
 }
 
@@ -243,11 +243,13 @@ void LocalStoreSpmv::execute(const double* x, double* y,
 
   ctx_->parallel_for(params_.spes, work, /*pin=*/false);
 
-  std::lock_guard<std::mutex> lock(stats_->mutex);
-  stats_->totals.x_bytes += x_bytes.load();
-  stats_->totals.y_bytes += y_bytes.load();
-  stats_->totals.matrix_bytes += m_bytes.load();
-  stats_->totals.dma_transfers += dmas.load();
+  // Relaxed loads: parallel_for's barrier already ordered every SPE's
+  // final fetch_add before this point.
+  MutexLock lock(stats_->mutex);
+  stats_->totals.x_bytes += x_bytes.load(std::memory_order_relaxed);
+  stats_->totals.y_bytes += y_bytes.load(std::memory_order_relaxed);
+  stats_->totals.matrix_bytes += m_bytes.load(std::memory_order_relaxed);
+  stats_->totals.dma_transfers += dmas.load(std::memory_order_relaxed);
 }
 
 }  // namespace spmv

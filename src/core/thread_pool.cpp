@@ -98,12 +98,17 @@ ThreadPool::~ThreadPool() {
   // already waiting (the notify below wakes it) or it has not locked yet
   // and its predicate re-check happens-after our unlock, so it sees
   // shutdown_.  Spinning workers observe the atomic directly.
-  { std::lock_guard<std::mutex> lock(mutex_); }
+  { MutexLock lock(mutex_); }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
+void ThreadPool::record_error(std::exception_ptr e) {
+  MutexLock lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(e);
+}
 
 void ThreadPool::run(const std::function<void(unsigned)>& task,
                      WaitMode mode) {
@@ -133,7 +138,7 @@ void ThreadPool::run(unsigned active,
   // that acquires the new word.
   task_ = &task;
   dispatch_mode_ = mode;
-  first_error_ = nullptr;
+  reset_error();
   caller_parked_.store(false, std::memory_order_relaxed);
   remaining_.store(helpers, std::memory_order_relaxed);
   const std::uint64_t prev = dispatch_word_.load(std::memory_order_relaxed);
@@ -143,7 +148,7 @@ void ThreadPool::run(unsigned active,
   // parked_ load (Dekker handshake with a worker that is about to park).
   dispatch_word_.store(next, std::memory_order_seq_cst);
   if (parked_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cv_start_.notify_all();
   }
 
@@ -155,8 +160,7 @@ void ThreadPool::run(unsigned active,
     try {
       task(0);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      record_error(std::current_exception());
     }
   }
 
@@ -169,23 +173,22 @@ void ThreadPool::run(unsigned active,
         [&] { return remaining_.load(std::memory_order_acquire) == 0; });
   }
   if (!done) {
+    // seq_cst store/load pair: Dekker handshake with the last worker's
+    // remaining_ decrement / caller_parked_ load (see worker_loop) — the
+    // caller must not park after the wake it is waiting for.
     caller_parked_.store(true, std::memory_order_seq_cst);
     if (remaining_.load(std::memory_order_seq_cst) != 0) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_done_.wait(lock, [&] {
-        return remaining_.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(mutex_);
+      while (remaining_.load(std::memory_order_acquire) != 0) {
+        cv_done_.wait(mutex_);
+      }
     }
     caller_parked_.store(false, std::memory_order_relaxed);
   }
   task_ = nullptr;
-  if (first_error_) {
-    // Reading without error_mutex_ is safe: every worker that wrote it
-    // did so before its remaining_ decrement, which we have acquired.
-    const std::exception_ptr e = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(e);
-  }
+  // Stealing without error_mutex_ is safe: every worker that wrote it
+  // did so before its remaining_ decrement, which we have acquired.
+  if (std::exception_ptr e = steal_error()) std::rethrow_exception(e);
 }
 
 std::uint64_t ThreadPool::wait_for_dispatch(std::uint64_t seen,
@@ -203,16 +206,18 @@ std::uint64_t ThreadPool::wait_for_dispatch(std::uint64_t seen,
       return w;
     }
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  // seq_cst increment before the predicate's word load: Dekker handshake
-  // with run()'s word store / parked_ load pair (see there).
-  parked_.fetch_add(1, std::memory_order_seq_cst);
-  cv_start_.wait(lock, [&] {
-    return dispatch_word_.load(std::memory_order_seq_cst) != seen ||
-           shutdown_.load(std::memory_order_relaxed);
-  });
-  parked_.fetch_sub(1, std::memory_order_relaxed);
-  lock.unlock();
+  {
+    MutexLock lock(mutex_);
+    // seq_cst increment before the predicate's word load: Dekker handshake
+    // with run()'s word store / parked_ load pair (see there).
+    parked_.fetch_add(1, std::memory_order_seq_cst);
+    // seq_cst word load in the predicate: same Dekker handshake.
+    while (dispatch_word_.load(std::memory_order_seq_cst) == seen &&
+           !shutdown_.load(std::memory_order_relaxed)) {
+      cv_start_.wait(mutex_);
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
   return dispatch_word_.load(std::memory_order_acquire);
 }
 
@@ -243,14 +248,13 @@ void ThreadPool::worker_loop(unsigned tid) {
     try {
       (*task_)(tid);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      record_error(std::current_exception());
     }
     if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
       // Last one out: wake the caller iff it actually parked (Dekker
       // handshake with run()'s caller_parked_ store / remaining_ load).
       if (caller_parked_.load(std::memory_order_seq_cst)) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         cv_done_.notify_one();
       }
     }

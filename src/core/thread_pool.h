@@ -24,14 +24,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/options.h"
+#include "util/thread_annotations.h"
 
 namespace spmv {
 
@@ -86,6 +86,23 @@ class ThreadPool {
   /// worker last *executed*: after a spin-mode task the worker stays hot
   /// for ~kSpinBudget before parking; otherwise it parks immediately.
   std::uint64_t wait_for_dispatch(std::uint64_t seen, WaitMode idle_mode);
+  /// Record `e` as the dispatch's error if it is the first one.  Called
+  /// from whichever thread's task threw (workers, or the participating
+  /// caller).
+  void record_error(std::exception_ptr e) SPMV_EXCLUDES(error_mutex_);
+  /// Pre-dispatch reset and post-barrier steal of first_error_ WITHOUT
+  /// error_mutex_ — the documented lock-free boundary of the barrier.
+  /// Safe because run() has exclusive access at both call sites: the
+  /// reset happens before the dispatch-word release store (no worker is
+  /// executing this dispatch yet), and the steal happens after run()
+  /// acquired remaining_ == 0 (every worker's error-slot write, made
+  /// under error_mutex_, happened-before its remaining_ decrement).
+  void reset_error() SPMV_NO_THREAD_SAFETY_ANALYSIS { first_error_ = nullptr; }
+  std::exception_ptr steal_error() SPMV_NO_THREAD_SAFETY_ANALYSIS {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    return e;
+  }
 
   std::vector<std::thread> workers_;
 
@@ -112,11 +129,13 @@ class ThreadPool {
   /// Caller parked in cv_done_ (same handshake with remaining_).
   std::atomic<bool> caller_parked_{false};
 
-  std::mutex mutex_;  ///< park/wake only — never taken on the spin path
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::mutex error_mutex_;  ///< taken only when a task throws
-  std::exception_ptr first_error_;
+  Mutex mutex_;  ///< park/wake only — never taken on the spin path
+  CondVar cv_start_;
+  CondVar cv_done_;
+  Mutex error_mutex_;  ///< taken only when a task throws
+  /// Guarded while tasks run; run() resets/steals it lock-free at the
+  /// barrier edges (see reset_error/steal_error).
+  std::exception_ptr first_error_ SPMV_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace spmv

@@ -13,7 +13,7 @@ ExecutionContext& ExecutionContext::global() {
 }
 
 unsigned ExecutionContext::capacity() const {
-  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  MutexLock lock(dispatch_mutex_);
   return pool_ ? pool_->size() : 0;
 }
 
@@ -31,7 +31,7 @@ void ExecutionContext::parallel_for(unsigned threads,
     for (unsigned t = 0; t < threads; ++t) task(t);
     return;
   }
-  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  MutexLock lock(dispatch_mutex_);
   const bool may_pin = config_.pin_threads && pin;
   if (!pool_ || pool_->size() < threads) {
     pool_.reset();  // join the narrower pool before spawning the wider one

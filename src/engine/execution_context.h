@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "core/thread_pool.h"
+#include "util/thread_annotations.h"
 
 namespace spmv::engine {
 
@@ -72,10 +72,11 @@ class ExecutionContext {
   void parallel_for(unsigned threads,
                     const std::function<void(unsigned)>& task,
                     bool pin = true,
-                    std::optional<WaitMode> wait_mode = std::nullopt);
+                    std::optional<WaitMode> wait_mode = std::nullopt)
+      SPMV_EXCLUDES(dispatch_mutex_);
 
   /// Current worker count (0 until the first parallel dispatch).
-  [[nodiscard]] unsigned capacity() const;
+  [[nodiscard]] unsigned capacity() const SPMV_EXCLUDES(dispatch_mutex_);
 
   /// Completed pool dispatches (inline serial runs are not counted).
   [[nodiscard]] std::uint64_t dispatches() const {
@@ -96,9 +97,9 @@ class ExecutionContext {
   /// supports one in-flight dispatch.  Per-call correctness under the
   /// interleaving this allows comes from plans keeping all mutable state in
   /// caller-owned Scratch (see engine/spmv_plan.h).
-  mutable std::mutex dispatch_mutex_;
-  std::unique_ptr<ThreadPool> pool_;
-  bool pinned_ = false;  ///< guarded by dispatch_mutex_; upgrade-only
+  mutable Mutex dispatch_mutex_;
+  std::unique_ptr<ThreadPool> pool_ SPMV_GUARDED_BY(dispatch_mutex_);
+  bool pinned_ SPMV_GUARDED_BY(dispatch_mutex_) = false;  ///< upgrade-only
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> pools_spawned_{0};
 };

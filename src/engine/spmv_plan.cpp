@@ -105,13 +105,19 @@ ScratchCache::ScratchCache() : state_(std::make_unique<State>()) {}
 // cache; it re-warms with correctly-stamped scratches.
 ScratchCache::ScratchCache(ScratchCache&& other) noexcept
     : state_(std::move(other.state_)) {
-  if (state_ != nullptr) state_->free_list.clear();
+  if (state_ != nullptr) {
+    MutexLock lock(state_->mutex);
+    state_->free_list.clear();
+  }
 }
 
 ScratchCache& ScratchCache::operator=(ScratchCache&& other) noexcept {
   if (this != &other) {
     state_ = std::move(other.state_);
-    if (state_ != nullptr) state_->free_list.clear();
+    if (state_ != nullptr) {
+      MutexLock lock(state_->mutex);
+      state_->free_list.clear();
+    }
   }
   return *this;
 }
@@ -137,7 +143,7 @@ ScratchCache::Lease ScratchCache::borrow(const SpmvPlan& plan) {
 
 std::unique_ptr<Scratch> ScratchCache::take(const SpmvPlan& plan) {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (!state_->free_list.empty()) {
       std::unique_ptr<Scratch> s = std::move(state_->free_list.back());
       state_->free_list.pop_back();
@@ -160,7 +166,7 @@ std::unique_ptr<Scratch> ScratchCache::take(const SpmvPlan& plan) {
 
 void ScratchCache::give_back(std::unique_ptr<Scratch> scratch) {
   if (scratch == nullptr) return;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   if (state_->free_list.size() < kMaxCached) {
     state_->free_list.push_back(std::move(scratch));
   }

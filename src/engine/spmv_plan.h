@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "util/aligned.h"
+#include "util/thread_annotations.h"
 
 namespace spmv::engine {
 
@@ -182,8 +182,8 @@ class ScratchCache {
   static constexpr std::size_t kMaxCached = 2;
 
   struct State {
-    std::mutex mutex;
-    std::vector<std::unique_ptr<Scratch>> free_list;
+    Mutex mutex;
+    std::vector<std::unique_ptr<Scratch>> free_list SPMV_GUARDED_BY(mutex);
   };
   std::unique_ptr<State> state_;
 };

@@ -7,7 +7,7 @@ namespace spmv::serve {
 
 MatrixRegistry::EntryPtr MatrixRegistry::publish(std::string name,
                                                  TunedMatrix plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto entry = std::make_shared<Entry>(name, next_version_++, std::move(plan));
   entries_[std::move(name)] = entry;
   return entry;
@@ -30,7 +30,7 @@ std::shared_future<MatrixRegistry::EntryPtr> MatrixRegistry::put_async(
                    return publish(name, TunedMatrix::plan(m, opt));
                  })
           .share();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Sweep finished tunes so pending_ tracks only live background work.
   std::erase_if(pending_, [](const std::shared_future<EntryPtr>& f) {
     return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
@@ -42,25 +42,25 @@ std::shared_future<MatrixRegistry::EntryPtr> MatrixRegistry::put_async(
 MatrixRegistry::~MatrixRegistry() {
   std::vector<std::shared_future<EntryPtr>> pending;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     pending.swap(pending_);
   }
   for (const auto& f : pending) f.wait();  // errors surfaced via the future
 }
 
 MatrixRegistry::EntryPtr MatrixRegistry::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second;
 }
 
 bool MatrixRegistry::erase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.erase(name) != 0;
 }
 
 std::vector<std::string> MatrixRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -68,7 +68,7 @@ std::vector<std::string> MatrixRegistry::names() const {
 }
 
 std::size_t MatrixRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -14,12 +14,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/tuned_matrix.h"
 #include "engine/spmv_plan.h"
+#include "util/thread_annotations.h"
 
 namespace spmv::serve {
 
@@ -66,24 +66,25 @@ class MatrixRegistry {
 
   /// The current entry for `name`, or nullptr.  The returned pin keeps the
   /// plan alive regardless of later replace/erase.
-  [[nodiscard]] EntryPtr find(const std::string& name) const;
+  [[nodiscard]] EntryPtr find(const std::string& name) const
+      SPMV_EXCLUDES(mutex_);
 
   /// Retire `name` (current pins stay valid).  False when absent.
-  bool erase(const std::string& name);
+  bool erase(const std::string& name) SPMV_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> names() const SPMV_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const SPMV_EXCLUDES(mutex_);
 
  private:
-  EntryPtr publish(std::string name, TunedMatrix plan);
+  EntryPtr publish(std::string name, TunedMatrix plan) SPMV_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, EntryPtr> entries_;
-  std::uint64_t next_version_ = 1;
+  mutable Mutex mutex_;
+  std::map<std::string, EntryPtr> entries_ SPMV_GUARDED_BY(mutex_);
+  std::uint64_t next_version_ SPMV_GUARDED_BY(mutex_) = 1;
   /// In-flight background tunes (swept when done): keeps the async shared
   /// state alive so a discarded put_async future doesn't block, and gives
   /// the destructor something to join.
-  std::vector<std::shared_future<EntryPtr>> pending_;
+  std::vector<std::shared_future<EntryPtr>> pending_ SPMV_GUARDED_BY(mutex_);
 };
 
 }  // namespace spmv::serve

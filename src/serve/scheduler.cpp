@@ -82,7 +82,7 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   std::future<void> fut = req.promise.get_future();
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!stopping_ && queue_.size() >= config_.queue_capacity) {
       if (config_.overflow == SchedulerConfig::OverflowPolicy::kReject) {
         req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -91,9 +91,9 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
         return fut;
       }
       // Backpressure: park the submitter until a dispatch frees a slot.
-      space_cv_.wait(lock, [this] {
-        return stopping_ || queue_.size() < config_.queue_capacity;
-      });
+      while (!stopping_ && queue_.size() >= config_.queue_capacity) {
+        space_cv_.wait(mutex_);
+      }
     }
     if (stopping_) {
       req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -111,15 +111,14 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
 
 void Scheduler::resume() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     paused_ = false;
     ++epoch_;
   }
   work_cv_.notify_all();
 }
 
-std::vector<Scheduler::Request> Scheduler::collect_batch(
-    std::unique_lock<std::mutex>& lock) {
+std::vector<Scheduler::Request> Scheduler::collect_batch() {
   if (queue_.empty()) return {};
 
   // Linger: give the head request's batch time to fill before paying a
@@ -157,7 +156,7 @@ std::vector<Scheduler::Request> Scheduler::collect_batch(
     while (!stopping_ && seen != 0 && seen < config_.max_batch &&
            seen == queue_.size() &&
            queue_.size() < config_.queue_capacity) {
-      if (work_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (work_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
         break;
       }
       if (queue_.empty()) return {};
@@ -211,7 +210,7 @@ std::vector<Scheduler::Request> Scheduler::collect_batch(
 
 void Scheduler::retire_inflight(const std::vector<Request>& batch) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const Request& r : batch) {
       const auto dec = [](std::map<const double*, unsigned>& counts,
                           const double* p) {
@@ -271,24 +270,23 @@ void Scheduler::dispatcher_loop() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
-      });
+      MutexLock lock(mutex_);
+      while (!stopping_ && (paused_ || queue_.empty())) {
+        work_cv_.wait(mutex_);
+      }
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
       }
       if (stopping_ && discard_) return;  // shutdown() fails the queue
-      batch = collect_batch(lock);
+      batch = collect_batch();
       if (batch.empty() && !queue_.empty()) {
         // Everything dispatchable conflicts with a batch in flight on
         // another dispatcher.  Sleep until the queue state changes (a
         // batch retires or new work arrives) instead of spinning on the
         // still-true "queue not empty" predicate.
         const std::uint64_t seen = epoch_;
-        work_cv_.wait(lock,
-                      [&] { return stopping_ || epoch_ != seen; });
+        while (!stopping_ && epoch_ == seen) work_cv_.wait(mutex_);
         continue;
       }
     }
@@ -301,7 +299,7 @@ void Scheduler::dispatcher_loop() {
 void Scheduler::shutdown(Drain mode) {
   std::deque<Request> discarded;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
     ++epoch_;
     if (mode == Drain::kDiscard) {
@@ -319,7 +317,7 @@ void Scheduler::shutdown(Drain mode) {
   }
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!joined_) {
       joined_ = true;
       to_join.swap(dispatchers_);

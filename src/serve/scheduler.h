@@ -25,13 +25,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -40,6 +38,7 @@
 
 #include "serve/registry.h"
 #include "serve/serve_stats.h"
+#include "util/thread_annotations.h"
 
 namespace spmv::serve {
 
@@ -105,16 +104,17 @@ class Scheduler {
   /// Thread-safe; may block when the queue is full under kBlock.  Must not
   /// be called from an engine pool worker.
   std::future<void> submit(const std::string& name, std::span<const double> x,
-                           std::span<double> y);
+                           std::span<double> y) SPMV_EXCLUDES(mutex_);
 
   /// Same, with the registry lookup already done (pins `entry`): clients
   /// holding a hot entry skip the name lookup, and requests for a retired
   /// version still execute.
   std::future<void> submit(MatrixRegistry::EntryPtr entry,
-                           std::span<const double> x, std::span<double> y);
+                           std::span<const double> x, std::span<double> y)
+      SPMV_EXCLUDES(mutex_);
 
   /// Begin dispatching when constructed with start_paused.  Idempotent.
-  void resume();
+  void resume() SPMV_EXCLUDES(mutex_);
 
   enum class Drain : std::uint8_t {
     kDrain,    ///< run every queued request, then stop
@@ -123,7 +123,7 @@ class Scheduler {
 
   /// Stop the dispatchers.  Safe to call twice; after shutdown every
   /// submit() fails fast with kShutdown.
-  void shutdown(Drain mode = Drain::kDrain);
+  void shutdown(Drain mode = Drain::kDrain) SPMV_EXCLUDES(mutex_);
 
   [[nodiscard]] ServeStatsSnapshot stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
@@ -138,48 +138,51 @@ class Scheduler {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void dispatcher_loop();
+  void dispatcher_loop() SPMV_EXCLUDES(mutex_);
   /// Pop a batch for the head request's entry (up to max_batch, skipping
   /// requests whose operands conflict with the batch or with any batch
   /// another dispatcher is currently executing), honoring the linger
-  /// window.  Registers the collected batch's operands as in-flight.
-  /// Returns empty when stopping with an empty queue, or when every
-  /// candidate is conflict-deferred (wait for the epoch to advance).
-  /// Called with `lock` held.
-  std::vector<Request> collect_batch(std::unique_lock<std::mutex>& lock);
-  void execute_batch(std::vector<Request> batch);
+  /// window (the lock drops while lingering in work_cv_).  Registers the
+  /// collected batch's operands as in-flight.  Returns empty when
+  /// stopping with an empty queue, or when every candidate is
+  /// conflict-deferred (wait for the epoch to advance).
+  std::vector<Request> collect_batch() SPMV_REQUIRES(mutex_);
+  void execute_batch(std::vector<Request> batch) SPMV_EXCLUDES(mutex_);
   /// Drop `batch`'s operands from the in-flight sets, bump the epoch, and
   /// wake dispatchers whose candidates were conflict-deferred.
-  void retire_inflight(const std::vector<Request>& batch);
+  void retire_inflight(const std::vector<Request>& batch)
+      SPMV_EXCLUDES(mutex_);
 
   MatrixRegistry& registry_;
   SchedulerConfig config_;
   ServeStats stats_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< dispatchers: work or stop
-  std::condition_variable space_cv_;  ///< blocked submitters: space or stop
-  std::deque<Request> queue_;
-  bool paused_ = false;
-  bool stopping_ = false;   ///< no new submits; dispatchers wind down
-  bool discard_ = false;    ///< stopping_ without draining
+  mutable Mutex mutex_;
+  CondVar work_cv_;   ///< dispatchers: work or stop
+  CondVar space_cv_;  ///< blocked submitters: space or stop
+  std::deque<Request> queue_ SPMV_GUARDED_BY(mutex_);
+  bool paused_ SPMV_GUARDED_BY(mutex_) = false;
+  /// No new submits; dispatchers wind down.
+  bool stopping_ SPMV_GUARDED_BY(mutex_) = false;
+  /// stopping_ without draining.
+  bool discard_ SPMV_GUARDED_BY(mutex_) = false;
   /// Queue-state generation: bumped on enqueue, batch completion, resume,
   /// and shutdown, so a dispatcher whose candidates were all
   /// conflict-deferred can sleep until something changes instead of
   /// spinning.
-  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_ SPMV_GUARDED_BY(mutex_) = 0;
   /// Bumped only on enqueue: lets the linger stall-detector tell real
   /// arrivals apart from retire/resume/spurious condvar wakes (which must
   /// not end the window early).
-  std::uint64_t enqueue_count_ = 0;
+  std::uint64_t enqueue_count_ SPMV_GUARDED_BY(mutex_) = 0;
   /// Operands of batches currently executing on some dispatcher
   /// (pointer → refcount).  A request conflicts — and stays queued — while
   /// its y is in either set or its x is an in-flight y, so concurrent
   /// dispatchers can never race two batches over shared memory.
-  std::map<const double*, unsigned> inflight_xs_;
-  std::map<const double*, unsigned> inflight_ys_;
-  std::vector<std::thread> dispatchers_;
-  bool joined_ = false;
+  std::map<const double*, unsigned> inflight_xs_ SPMV_GUARDED_BY(mutex_);
+  std::map<const double*, unsigned> inflight_ys_ SPMV_GUARDED_BY(mutex_);
+  std::vector<std::thread> dispatchers_ SPMV_GUARDED_BY(mutex_);
+  bool joined_ SPMV_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace spmv::serve

@@ -85,7 +85,7 @@ std::uint64_t ServeStatsSnapshot::total_completed() const {
 }
 
 std::shared_ptr<MatrixServeStats> ServeStats::cell(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = cells_.find(name);
   if (it == cells_.end()) {
     it = cells_.emplace(name, std::make_shared<MatrixServeStats>()).first;
@@ -97,7 +97,7 @@ ServeStatsSnapshot ServeStats::snapshot() const {
   ServeStatsSnapshot out;
   out.unknown_matrix_rejected =
       unknown_matrix_rejected_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out.matrices.reserve(cells_.size());
   for (const auto& [name, cell] : cells_) {
     MatrixStatsSnapshot m;

@@ -18,9 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace spmv::serve {
 
@@ -114,18 +115,20 @@ class ServeStats {
   /// stable and safe to hold across registry mutations.  Only call with
   /// names that exist in the registry (cells live forever) — unknown-name
   /// rejections go through record_unknown_matrix() instead.
-  std::shared_ptr<MatrixServeStats> cell(const std::string& name);
+  std::shared_ptr<MatrixServeStats> cell(const std::string& name)
+      SPMV_EXCLUDES(mutex_);
 
   /// Count a submit() against a never-registered name.
   void record_unknown_matrix() {
     unknown_matrix_rejected_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] ServeStatsSnapshot snapshot() const;
+  [[nodiscard]] ServeStatsSnapshot snapshot() const SPMV_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<MatrixServeStats>> cells_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<MatrixServeStats>> cells_
+      SPMV_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> unknown_matrix_rejected_{0};
 };
 

@@ -1,0 +1,141 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis macros
+// and the annotated synchronization primitives the whole engine uses.
+//
+// The engine's concurrency surface — the lock-free spin-barrier pool, the
+// refcounted hot-swap registry, the coalescing scheduler — is guarded by
+// locking *contracts* ("entries_ is only touched under mutex_") that a
+// sanitizer can only check on the schedules a test happens to produce.
+// Clang's -Wthread-safety checks them on every build over every code
+// path: members declare their guard with SPMV_GUARDED_BY, functions
+// declare what they hold/take with SPMV_REQUIRES / SPMV_ACQUIRE /
+// SPMV_RELEASE / SPMV_EXCLUDES, and a violation is a compile error (CI
+// builds src/ with -Wthread-safety -Werror).
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers
+// compile down to the plain std types, so GCC builds are unaffected.
+//
+// Usage rules (enforced by tools/lint_concurrency.py in CI):
+//  * New code takes spmv::Mutex / spmv::CondVar / spmv::MutexLock from
+//    this header, never raw std::mutex / std::lock_guard /
+//    std::condition_variable — the raw types are invisible to the
+//    analysis.
+//  * Condition-variable predicates are written as explicit while loops in
+//    the annotated caller (`while (!pred()) cv.wait(mu);`), not as
+//    predicate lambdas: a lambda body is analyzed as its own unannotated
+//    function, so guarded-member reads inside it would (rightly) fail the
+//    analysis.
+//  * SPMV_NO_THREAD_SAFETY_ANALYSIS is reserved for documented lock-free
+//    boundaries where the happens-before argument lives outside any mutex
+//    (e.g. ThreadPool's barrier-ordered error slot); each use must carry
+//    the argument in a comment.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SPMV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPMV_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis tracks.
+#define SPMV_CAPABILITY(x) SPMV_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SPMV_SCOPED_CAPABILITY SPMV_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be accessed while holding the given capability.
+#define SPMV_GUARDED_BY(x) SPMV_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed while holding the given capability.
+#define SPMV_PT_GUARDED_BY(x) SPMV_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the capability/-ies to call this function.
+#define SPMV_REQUIRES(...) \
+  SPMV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define SPMV_ACQUIRE(...) \
+  SPMV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability the caller held.
+#define SPMV_RELEASE(...) \
+  SPMV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define SPMV_TRY_ACQUIRE(...) \
+  SPMV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock guard for public entry
+/// points of self-locking classes).
+#define SPMV_EXCLUDES(...) SPMV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define SPMV_ASSERT_CAPABILITY(x) SPMV_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define SPMV_RETURN_CAPABILITY(x) SPMV_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: function body is exempt from the analysis.  Only for
+/// documented lock-free boundaries — see the header comment.
+#define SPMV_NO_THREAD_SAFETY_ANALYSIS \
+  SPMV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace spmv {
+
+/// std::mutex with a capability the analysis can track.  Same cost: the
+/// annotations are compile-time only and the wrapper adds no state.
+class SPMV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPMV_ACQUIRE() { impl_.lock(); }
+  void unlock() SPMV_RELEASE() { impl_.unlock(); }
+  bool try_lock() SPMV_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII lock for Mutex — the annotated replacement for std::lock_guard /
+/// std::unique_lock.  Scoped-capability: the analysis knows the mutex is
+/// held from construction to the end of the enclosing scope.
+class SPMV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPMV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() SPMV_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on a Mutex directly (it is a
+/// BasicLockable), so waiting code keeps its capability annotations:
+/// wait()/wait_until() require the mutex held, release it while blocked,
+/// and re-hold it on return — exactly what the analysis assumes for a
+/// REQUIRES function.  Write the predicate loop in the caller:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);   // ready_ is SPMV_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block until notified (or spuriously woken),
+  /// and re-acquire `mu` before returning.  Callers loop on their
+  /// predicate.
+  void wait(Mutex& mu) SPMV_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a deadline; reports whether it timed out.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SPMV_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace spmv

@@ -514,5 +514,106 @@ TEST(ServeStats, LatencyHistogramBucketsMeanAndQuantiles) {
   EXPECT_EQ(LatencyHistogram::Snapshot{}.quantile_us(0.5), 0.0);
 }
 
+TEST(ServeStatsConcurrency, SnapshotsStayCoherentUnderConcurrentWriters) {
+  // Hammer one stats cell from several writers while a reader snapshots
+  // continuously.  Every sample is identical (2.5 µs → bucket 1), so any
+  // torn or misplaced count shows up as a wrong bucket; per-atomic
+  // coherence makes every counter monotone across successive snapshots.
+  constexpr unsigned kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  constexpr std::uint64_t kSampleNs = 2500;  // 2 µs ≤ 2.5 µs < 4 µs
+  ServeStats stats;
+  const std::shared_ptr<MatrixServeStats> cell = stats.cell("hot");
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        cell->queue_latency.record_ns(kSampleNs);
+        cell->record_batch(i % 8 + 1);
+        // Touch the map path too: cell() for an existing name must stay
+        // a pure lookup, safe against concurrent snapshots.
+        if (i % 4096 == 0) {
+          EXPECT_EQ(stats.cell("hot"), cell);
+        }
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  std::uint64_t last_count = 0, last_bucket1 = 0, last_rhs = 0;
+  for (;;) {
+    const ServeStatsSnapshot snap = stats.snapshot();
+    ASSERT_EQ(snap.matrices.size(), 1u);
+    const MatrixStatsSnapshot& m = snap.matrices[0];
+    const LatencyHistogram::Snapshot& h = m.queue_latency;
+    // All samples land in bucket 1; any other nonzero bucket is a lost
+    // or misfiled update.
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (b != 1) {
+        ASSERT_EQ(h.buckets[b], 0u) << "bucket " << b;
+      }
+    }
+    ASSERT_LE(h.count, kWriters * kPerWriter);
+    ASSERT_GE(h.count, last_count);          // monotone across snapshots
+    ASSERT_GE(h.buckets[1], last_bucket1);
+    ASSERT_GE(m.rhs_dispatched, last_rhs);
+    ASSERT_LE(m.max_batch_width, 8u);
+    last_count = h.count;
+    last_bucket1 = h.buckets[1];
+    last_rhs = m.rhs_dispatched;
+    if (h.count == kWriters * kPerWriter) break;
+    std::this_thread::yield();
+  }
+  for (auto& t : writers) t.join();
+
+  // Quiescent state: exact totals, no lost updates anywhere.
+  const ServeStatsSnapshot snap = stats.snapshot();
+  const MatrixStatsSnapshot* m = snap.find("hot");
+  ASSERT_NE(m, nullptr);
+  const std::uint64_t total = kWriters * kPerWriter;
+  EXPECT_EQ(m->queue_latency.count, total);
+  EXPECT_EQ(m->queue_latency.buckets[1], total);
+  EXPECT_EQ(m->queue_latency.total_ns, total * kSampleNs);
+  EXPECT_NEAR(m->queue_latency.mean_us(), 2.5, 1e-12);
+  EXPECT_EQ(m->batches_dispatched, total);
+  // Each writer's widths cycle 1..8 uniformly over kPerWriter % 8 == 0.
+  EXPECT_EQ(m->rhs_dispatched, kWriters * (kPerWriter / 8) * 36);
+  EXPECT_EQ(m->max_batch_width, 8u);
+  EXPECT_EQ(snap.unknown_matrix_rejected, 0u);
+}
+
+TEST(ServeStatsConcurrency, CellCreationRacesResolveToOneCell) {
+  // Racing first-touch cell() calls for the same name must converge on a
+  // single cell, and concurrent snapshots over a growing map must stay
+  // well-formed (sorted, no duplicates).
+  constexpr unsigned kThreads = 8;
+  ServeStats stats;
+  std::atomic<bool> go{false};
+  std::vector<std::shared_ptr<MatrixServeStats>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      seen[t] = stats.cell("shared");
+      stats.cell("own-" + std::to_string(t))->requests_submitted.fetch_add(
+          1, std::memory_order_relaxed);
+      const ServeStatsSnapshot snap = stats.snapshot();
+      for (std::size_t i = 1; i < snap.matrices.size(); ++i) {
+        EXPECT_LT(snap.matrices[i - 1].name, snap.matrices[i].name);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  for (unsigned t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  const ServeStatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.matrices.size(), kThreads + 1);
+}
+
 }  // namespace
 }  // namespace spmv::serve

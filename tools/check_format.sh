@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# clang-format gate over *changed* C++ files only: the tree predates the
+# .clang-format file, so formatting is enforced where code is touched
+# instead of via a whole-tree reformat commit.
+#
+# Usage: tools/check_format.sh [base-ref]   (default: origin/main, falling
+# back to HEAD^ when origin/main is absent — e.g. a push to main itself).
+set -eu
+
+base="${1:-}"
+if [ -z "$base" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base="$(git merge-base HEAD origin/main)"
+  else
+    base="HEAD^"
+  fi
+fi
+
+changed="$(git diff --name-only --diff-filter=ACMR "$base" -- \
+  '*.cpp' '*.cc' '*.h' '*.hpp')"
+if [ -z "$changed" ]; then
+  echo "check_format: no C++ files changed vs $base"
+  exit 0
+fi
+
+echo "check_format: checking vs $base:"
+printf '  %s\n' $changed
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+clang-format --dry-run -Werror $changed
+echo "check_format: clean"
