@@ -28,14 +28,19 @@
 // dispatch coalescing alone.
 //
 // Per point it reports achieved mean/max batch width and queue/dispatch
-// latency percentiles from the scheduler's ServeStats snapshot.  Extra
-// flags: --max_clients=8 (sweep 1,2,4,..), --max_batch=32, --linger_us=100,
-// --window=8, --dispatchers=1, --point_seconds=<s> (default from
-// --measure_seconds, floored at 0.05).
+// latency percentiles from the scheduler's ServeStats snapshot, plus a
+// "vs direct" column (delivered ops/s over the direct row at the same
+// client count — the scheduling overhead/amortization factor the sharded
+// data plane is accountable for).  Extra flags: --max_clients=8 (sweep
+// 1,2,4,..), --max_batch=32, --linger_us=100, --window=8, --dispatchers=1,
+// --dispatchers_list=1,2,4 (CSV; overrides --dispatchers and repeats every
+// serve mode per value — the data-plane scaling sweep), --point_seconds=<s>
+// (default from --measure_seconds, floored at 0.05).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <future>
 #include <string>
@@ -168,6 +173,25 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::max(1L, cli.get_int("window", 8)));
   const auto dispatchers =
       static_cast<unsigned>(std::max(1L, cli.get_int("dispatchers", 1)));
+  // --dispatchers_list=1,2,4 runs every serve mode once per value; the
+  // single --dispatchers flag is the one-element default.
+  std::vector<unsigned> disp_list;
+  {
+    const std::string csv = cli.get("dispatchers_list", "");
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+      const std::size_t comma = csv.find(',', pos);
+      const std::string tok =
+          csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!tok.empty()) {
+        const long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v >= 1) disp_list.push_back(static_cast<unsigned>(v));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (disp_list.empty()) disp_list.push_back(dispatchers);
+  }
   const double point_seconds =
       cli.get_double("point_seconds", std::max(cfg.measure_seconds, 0.05));
 
@@ -196,9 +220,9 @@ int main(int argc, char** argv) {
     registry_loop.put(kMatrixNames[i], m, loop_opt);
   }
 
-  Table table({"mode", "clients", "ops", "ops/s", "GFlop/s", "fused x",
-               "mean width", "max width", "queue p50 us", "queue p95 us",
-               "disp p50 us"});
+  Table table({"mode", "clients", "disp", "ops", "ops/s", "GFlop/s",
+               "vs direct", "fused x", "mean width", "max width",
+               "queue p50 us", "queue p95 us", "disp p50 us"});
 
   std::vector<unsigned> sweep;
   for (unsigned c = 1; c <= max_clients; c *= 2) sweep.push_back(c);
@@ -232,6 +256,8 @@ int main(int argc, char** argv) {
     struct ModeResult {
       std::string mode;
       TrafficPoint traffic;
+      unsigned disp = 0;         ///< dispatcher threads (0: no scheduler)
+      double vs_direct = 0.0;    ///< ops/s over the direct row
       double fused_ratio = 0.0;  ///< GFlop/s vs the matching -loop mode
       double mean_width = 1.0;
       std::uint64_t max_width = 1;
@@ -258,14 +284,16 @@ int main(int argc, char** argv) {
         {"serve-open-loop", max_batch, linger_us, window, false, nullptr},
         {"serve-open", max_batch, linger_us, window, true, "serve-open-loop"},
     };
+    for (const unsigned n_disp : disp_list)
     for (const ServeMode& mode : modes) {
       serve::SchedulerConfig sc;
       sc.max_batch = mode.batch;
       sc.max_linger = std::chrono::microseconds(mode.linger);
-      sc.dispatch_threads = dispatchers;
+      sc.dispatch_threads = n_disp;  // shards default to one per dispatcher
       serve::Scheduler sched(mode.fused ? registry : registry_loop, sc);
       ModeResult r;
       r.mode = mode.label;
+      r.disp = n_disp;
       r.traffic =
           run_serve(sched, mode.fused ? clients : clients_loop, ys,
                     mode.win, point_seconds);
@@ -289,9 +317,18 @@ int main(int argc, char** argv) {
       r.q50 = queue.quantile_us(0.5);
       r.q95 = queue.quantile_us(0.95);
       r.d50 = disp.quantile_us(0.5);
+      const ModeResult& direct = results.front();
+      if (direct.traffic.ops > 0 && direct.traffic.seconds > 0.0 &&
+          r.traffic.seconds > 0.0) {
+        r.vs_direct = (static_cast<double>(r.traffic.ops) /
+                       r.traffic.seconds) /
+                      (static_cast<double>(direct.traffic.ops) /
+                       direct.traffic.seconds);
+      }
       if (mode.ratio_vs != nullptr) {
         for (const ModeResult& prev : results) {
-          if (prev.mode == mode.ratio_vs && prev.traffic.seconds > 0.0 &&
+          if (prev.mode == mode.ratio_vs && prev.disp == n_disp &&
+              prev.traffic.seconds > 0.0 &&
               r.traffic.seconds > 0.0 && prev.traffic.flops > 0) {
             const double own = static_cast<double>(r.traffic.flops) /
                                r.traffic.seconds;
@@ -307,6 +344,7 @@ int main(int argc, char** argv) {
     for (const ModeResult& r : results) {
       table.add_row(
           {r.mode, std::to_string(n_clients),
+           r.disp > 0 ? std::to_string(r.disp) : "-",
            std::to_string(r.traffic.ops),
            Table::fmt(static_cast<double>(r.traffic.ops) /
                           std::max(1e-9, r.traffic.seconds),
@@ -314,6 +352,7 @@ int main(int argc, char** argv) {
            Table::fmt(static_cast<double>(r.traffic.flops) /
                           std::max(1e-9, r.traffic.seconds) / 1e9,
                       3),
+           r.vs_direct > 0.0 ? Table::fmt(r.vs_direct) : "-",
            r.fused_ratio > 0.0 ? Table::fmt(r.fused_ratio) : "-",
            Table::fmt(r.mean_width), std::to_string(r.max_width),
            Table::fmt(r.q50, 0), Table::fmt(r.q95, 0),

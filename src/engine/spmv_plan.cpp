@@ -156,22 +156,41 @@ std::unique_ptr<Scratch> ScratchCache::take(const SpmvPlan& plan) {
             "ScratchCache::take: cached scratch was built for a different "
             "plan (a ScratchCache must serve exactly one plan)");
       }
+      ++state_->outstanding;
+      state_->high_water = std::max(state_->high_water, state_->outstanding);
       return s;
     }
+    // Counted before the (unlocked) allocation so two dispatchers missing
+    // the cache simultaneously both register: the high-water mark is about
+    // demanded concurrency, not cache hits.
+    ++state_->outstanding;
+    state_->high_water = std::max(state_->high_water, state_->outstanding);
   }
   std::unique_ptr<Scratch> s = plan.make_scratch();
-  if (s != nullptr) s->built_for_ = &plan;
+  if (s != nullptr) {
+    s->built_for_ = &plan;
+  } else {
+    // Stateless plan: nothing was handed out, undo the count.
+    MutexLock lock(state_->mutex);
+    --state_->outstanding;
+  }
   return s;
 }
 
 void ScratchCache::give_back(std::unique_ptr<Scratch> scratch) {
   if (scratch == nullptr) return;
   MutexLock lock(state_->mutex);
-  if (state_->free_list.size() < kMaxCached) {
+  if (state_->outstanding > 0) --state_->outstanding;
+  // Adaptive cap: keep as many scratches as have ever been in flight at
+  // once (the concurrency this cache actually serves), bounded to
+  // [kMinCached, kMaxCached] so a serial caller stays tiny and a burst
+  // cannot pin unbounded peak memory for the plan's lifetime.
+  const std::size_t cap = std::min(
+      std::max(kMinCached, state_->high_water), kMaxCached);
+  if (state_->free_list.size() < cap) {
     state_->free_list.push_back(std::move(scratch));
   }
-  // else: drop it — a burst of concurrent calls must not pin its peak
-  // scratch memory for the plan's lifetime.
+  // else: drop it.
 }
 
 }  // namespace spmv::engine

@@ -175,15 +175,24 @@ class ScratchCache {
   void give_back(std::unique_ptr<Scratch> scratch);
 
  private:
-  /// At most this many scratches cached when idle; excess returns are
-  /// freed.  Kept tiny because one scratch can be plan_threads × rows
-  /// doubles for the reduction-based variants — the steady serial caller
-  /// needs 1, a modestly concurrent one reuses 2, bursts re-allocate.
-  static constexpr std::size_t kMaxCached = 2;
+  /// The free-list cap adapts to observed concurrency: it is the
+  /// high-water mark of simultaneously outstanding scratches, clamped to
+  /// [kMinCached, kMaxCached].  A serial caller keeps the old tiny
+  /// footprint (one scratch can be plan_threads × rows doubles for the
+  /// reduction-based variants), while a sharded scheduler running N
+  /// dispatchers against one entry settles at N cached scratches instead
+  /// of freeing and re-allocating N - kMinCached of them on every batch.
+  /// The mark only ever rises — a past burst pins at most kMaxCached.
+  static constexpr std::size_t kMinCached = 2;
+  static constexpr std::size_t kMaxCached = 16;
 
   struct State {
     Mutex mutex;
     std::vector<std::unique_ptr<Scratch>> free_list SPMV_GUARDED_BY(mutex);
+    /// Scratches currently handed out (take minus give_back).
+    std::size_t outstanding SPMV_GUARDED_BY(mutex) = 0;
+    /// Peak of `outstanding`: the observed concurrency this cache serves.
+    std::size_t high_water SPMV_GUARDED_BY(mutex) = 0;
   };
   std::unique_ptr<State> state_;
 };

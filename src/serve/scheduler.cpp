@@ -1,8 +1,11 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <bit>
+#include <functional>
 #include <utility>
 
+#include "core/thread_pool.h"
 #include "engine/executor.h"
 
 namespace spmv::serve {
@@ -28,14 +31,27 @@ std::future<void> failed_future(ServeErrorCode code, const std::string& what) {
 }  // namespace
 
 Scheduler::Scheduler(MatrixRegistry& registry, SchedulerConfig config)
-    : registry_(registry), config_(config), paused_(config.start_paused) {
+    : registry_(registry), config_(config) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.dispatch_threads = std::max(1u, config_.dispatch_threads);
-  const unsigned threads = config_.dispatch_threads;
-  dispatchers_.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  if (config_.shards == 0) config_.shards = config_.dispatch_threads;
+  // Split the capacity across shards; each ring rounds its share up to a
+  // power of two, so the effective total is >= queue_capacity (documented
+  // in SchedulerConfig).
+  const std::size_t per_shard =
+      (config_.queue_capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+  // relaxed: stored before the dispatcher threads exist; thread creation
+  // synchronizes-with each thread's start, which publishes this.
+  paused_.store(config_.start_paused, std::memory_order_relaxed);
+  MutexLock lock(join_mutex_);
+  dispatchers_.reserve(config_.dispatch_threads);
+  for (unsigned t = 0; t < config_.dispatch_threads; ++t) {
+    dispatchers_.emplace_back([this, t] { dispatcher_loop(t); });
   }
 }
 
@@ -56,6 +72,16 @@ std::future<void> Scheduler::submit(const std::string& name,
 std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
                                     std::span<const double> x,
                                     std::span<double> y) {
+  // Fail fast instead of deadlocking: a kBlock wait on an engine pool
+  // worker parks the very thread the dispatcher needs to drain the queue.
+  // Unconditional (not assert-only) — the deadlock it prevents would
+  // otherwise ship in release builds and only fire under load.
+  if (ThreadPool::on_worker_thread()) {
+    throw std::logic_error(
+        "serve: Scheduler::submit called from an engine pool worker "
+        "thread; submit must be called from client threads (a blocked "
+        "submit here would deadlock the pool the dispatcher runs on)");
+  }
   if (entry == nullptr) {
     return failed_future(ServeErrorCode::kUnknownMatrix,
                          "serve: null registry entry");
@@ -81,149 +107,285 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   req.enqueued = std::chrono::steady_clock::now();
   std::future<void> fut = req.promise.get_future();
 
-  {
-    MutexLock lock(mutex_);
-    if (!stopping_ && queue_.size() >= config_.queue_capacity) {
+  const auto reject = [&req](ServeErrorCode code, const char* what) {
+    req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_exception(
+        std::make_exception_ptr(ServeError(code, what)));
+  };
+
+  // seq_cst RMW: the submit side of the Dekker handshake with shutdown().
+  // The announcement must be globally ordered before the stopping_ check
+  // below: either that check sees stopping_ (we fail with kShutdown and
+  // never push), or our increment precedes shutdown()'s counter read, so
+  // its final ring sweep waits for our push.  No push can slip past both.
+  submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  bool enqueued = false;
+  // seq_cst: see the handshake above — must be ordered after the
+  // announcement, or a concurrent shutdown() could miss this push.
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    reject(ServeErrorCode::kShutdown, "serve: scheduler is shut down");
+  } else {
+    const std::size_t home = home_shard();
+    for (;;) {
+      if (try_push_any(home, req)) {
+        enqueued = true;
+        break;
+      }
       if (config_.overflow == SchedulerConfig::OverflowPolicy::kReject) {
-        req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
-        req.promise.set_exception(std::make_exception_ptr(ServeError(
-            ServeErrorCode::kQueueFull, "serve: request queue full")));
-        return fut;
+        reject(ServeErrorCode::kQueueFull, "serve: request queue full");
+        break;
       }
-      // Backpressure: park the submitter until a dispatch frees a slot.
-      while (!stopping_ && queue_.size() >= config_.queue_capacity) {
-        space_cv_.wait(mutex_);
+      // Backpressure: park until a dispatch frees a ring slot.  The
+      // prepare/re-check/commit dance closes the race against a pop (or a
+      // shutdown) that lands between our failed push and the sleep.
+      const std::uint64_t ticket = space_ec_.prepare_wait();
+      // seq_cst: ordered after prepare_wait's announcement so a
+      // concurrent shutdown() either wakes us or is seen here (same
+      // handshake shape as the stopping_ check above).
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        space_ec_.cancel_wait();
+        reject(ServeErrorCode::kShutdown, "serve: scheduler is shut down");
+        break;
       }
+      if (try_push_any(home, req)) {
+        space_ec_.cancel_wait();
+        enqueued = true;
+        break;
+      }
+      space_ec_.commit_wait(ticket);
     }
-    if (stopping_) {
-      req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
-      req.promise.set_exception(std::make_exception_ptr(ServeError(
-          ServeErrorCode::kShutdown, "serve: scheduler is shut down")));
-      return fut;
-    }
-    queue_.push_back(std::move(req));
-    ++epoch_;
-    ++enqueue_count_;
   }
-  work_cv_.notify_one();
+  if (enqueued) {
+    std::size_t depth = 0;
+    for (const auto& shard : shards_) depth += shard->ring.approx_size();
+    plane_.queue_depth.record(depth);
+    // Wake at most one sleeping dispatcher; when all are busy this is a
+    // single atomic load.
+    work_ec_.notify_one();
+  }
+  // seq_cst RMW: closes the Dekker window — shutdown()'s spin-wait
+  // acquire-reads this counter reaching zero, and the RMW release
+  // sequence makes every push before a decrement visible to its sweep.
+  submits_in_flight_.fetch_sub(1, std::memory_order_seq_cst);
   return fut;
 }
 
-void Scheduler::resume() {
-  {
-    MutexLock lock(mutex_);
-    paused_ = false;
-    ++epoch_;
+bool Scheduler::try_push_any(std::size_t home, Request& req) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[(home + i) % shards_.size()];
+    if (shard.ring.try_push(std::move(req))) return true;
+    // try_push leaves req untouched on failure; overflow to a sibling.
   }
-  work_cv_.notify_all();
+  return false;
 }
 
-std::vector<Scheduler::Request> Scheduler::collect_batch() {
-  if (queue_.empty()) return {};
+std::size_t Scheduler::home_shard() const {
+  // Hash once per thread: a stable token spreads submitter threads across
+  // shards without any shared state on the submit path.
+  static const thread_local std::size_t token = [] {
+    std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    h ^= h >> 33;  // std::hash may be close to identity; mix the bits
+    h *= 0x9E3779B97F4A7C15ull;
+    return h >> 16;
+  }();
+  return token % shards_.size();
+}
 
-  // Linger: give the head request's batch time to fill before paying a
-  // dispatch for it.  The deadline is anchored to the head's enqueue time,
-  // so a request never waits more than max_linger total; stopping_ (drain)
-  // dispatches immediately.  Other dispatchers may steal requests while we
-  // wait (the lock drops inside wait_until), so everything re-checks.
-  const MatrixRegistry::Entry* key = queue_.front().entry.get();
-  const auto deadline = queue_.front().enqueued + config_.max_linger;
-  const auto count_for_key = [&] {
-    std::size_t n = 0;
-    for (const Request& r : queue_) {
-      if (r.entry.get() == key && ++n >= config_.max_batch) break;
-    }
-    return n;
-  };
-  // Linger only while this entry's batch is the sole work in the queue.
-  // Three cuts keep the window from being wasted:
-  //   * Other entries waiting → dispatch now.  Lingering would delay their
-  //     requests without widening this batch any faster, and their
-  //     execution time is itself a natural accumulation window for ours.
-  //   * Queue at capacity → dispatch now.  Submitters are parked on
-  //     backpressure, so nothing can join the batch (and nothing could
-  //     wake the stall detector below).
-  //   * Stall detection — an ARRIVAL that didn't grow the batch means the
-  //     new requests target other entries; every client of THIS entry is
-  //     already queued or blocked on a future we hold, so no amount of
-  //     further lingering can widen it.  Wakes without an arrival
-  //     (spurious, or another dispatcher's retire/notify_all) keep
-  //     lingering — treating them as stalls would collapse batch width
-  //     under multi-dispatcher pipelined load.
-  if (config_.max_linger.count() > 0) {
-    std::size_t seen = count_for_key();
-    std::uint64_t arrivals_seen = enqueue_count_;
-    while (!stopping_ && seen != 0 && seen < config_.max_batch &&
-           seen == queue_.size() &&
-           queue_.size() < config_.queue_capacity) {
-      if (work_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
-        break;
-      }
-      if (queue_.empty()) return {};
-      const std::size_t n = count_for_key();
-      if (n > seen) {
-        seen = n;
-        arrivals_seen = enqueue_count_;
-        continue;
-      }
-      if (enqueue_count_ != arrivals_seen) break;  // foreign arrivals only
-    }
+bool Scheduler::any_shard_nonempty() const {
+  for (const auto& shard : shards_) {
+    if (shard->ring.approx_size() != 0) return true;
   }
-  if (queue_.empty()) return {};
-  if (count_for_key() == 0) key = queue_.front().entry.get();
+  return false;
+}
 
-  // Extract up to max_batch requests for `key`, skipping any whose
-  // operands conflict with what the batch already holds OR with a batch
-  // another dispatcher is executing right now: the engine's batch path
-  // runs right-hand sides unordered and dispatchers run batches
-  // concurrently, so a duplicated y or an x aliasing any in-flight y must
-  // wait for a later dispatch rather than race.
-  std::vector<Request> batch;
-  batch.reserve(config_.max_batch);
-  const auto conflicts = [&](const Request& r) {
-    if (inflight_ys_.count(r.y) != 0 || inflight_xs_.count(r.y) != 0 ||
-        inflight_ys_.count(r.x) != 0) {
-      return true;
-    }
-    for (const Request& b : batch) {
-      if (r.y == b.y || r.y == b.x || r.x == b.y) return true;
-    }
-    return false;
-  };
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < config_.max_batch;) {
-    if (it->entry.get() == key && !conflicts(*it)) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
+void Scheduler::resume() {
+  // release: pairs with the acquire load in the dispatcher pause gate (no
+  // data rides on it, but the pairing keeps the flag's role explicit).
+  paused_.store(false, std::memory_order_release);
+  work_ec_.notify_all();
+}
+
+bool Scheduler::conflicts_with(const std::vector<Request>& batch,
+                               const Request& r) {
+  for (const Request& b : batch) {
+    if (r.y == b.y || r.y == b.x || r.x == b.y) return true;
+  }
+  return false;
+}
+
+std::vector<Scheduler::Request> Scheduler::InflightTracker::claim(
+    std::vector<Request>& batch) {
+  std::vector<Request> deferred;
+  std::vector<Request> kept;
+  kept.reserve(batch.size());
+  MutexLock lock(mutex_);
+  for (Request& r : batch) {
+    // Another dispatcher's executing batch already owns an operand that
+    // would race ours: defer.  (The engine's batch path runs right-hand
+    // sides unordered, and dispatchers run batches concurrently.)
+    if (ys_.contains(r.y) || xs_.contains(r.y) || ys_.contains(r.x)) {
+      deferred.push_back(std::move(r));
     } else {
-      ++it;
+      xs_.increment(r.x);
+      ys_.increment(r.y);
+      kept.push_back(std::move(r));
     }
   }
-  // Publish the batch's operands as in-flight before the lock drops;
-  // execute_batch() retires them when done.
+  batch = std::move(kept);
+  return deferred;
+}
+
+void Scheduler::InflightTracker::release(const std::vector<Request>& batch) {
+  MutexLock lock(mutex_);
   for (const Request& r : batch) {
-    ++inflight_xs_[r.x];
-    ++inflight_ys_[r.y];
+    xs_.decrement(r.x);
+    ys_.decrement(r.y);
+  }
+}
+
+std::size_t Scheduler::pull_shard(std::size_t shard, std::size_t home,
+                                  std::deque<Request>& pending,
+                                  std::size_t target) {
+  std::size_t popped = 0;
+  Request req;
+  while (pending.size() < target && shards_[shard]->ring.try_pop(req)) {
+    if (shard != home) {
+      req.stolen = true;
+      plane_.steal_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending.push_back(std::move(req));
+    ++popped;
+  }
+  return popped;
+}
+
+std::size_t Scheduler::fill_pending(std::size_t home,
+                                    std::deque<Request>& pending) {
+  // Home shard first, then steal from siblings — but keep pulling until a
+  // full batch is local.  Stopping at "home has something" would fragment
+  // same-matrix traffic across shards and collapse coalescing width.
+  std::size_t popped = 0;
+  for (std::size_t i = 0;
+       i < shards_.size() && pending.size() < config_.max_batch; ++i) {
+    popped += pull_shard((home + i) % shards_.size(), home, pending,
+                         config_.max_batch);
+  }
+  if (popped != 0) space_ec_.notify_all();  // ring slots freed
+  return popped;
+}
+
+std::vector<Scheduler::Request> Scheduler::build_batch(
+    std::size_t home, std::deque<Request>& pending) {
+  std::vector<Request> batch;
+  std::vector<Request> deferred;
+  batch.reserve(config_.max_batch);
+  while (!pending.empty()) {
+    const MatrixRegistry::Entry* key = pending.front().entry.get();
+    // Extract up to max_batch same-entry requests with no intra-batch
+    // operand conflicts.  The front request always extracts, so each pass
+    // strictly shrinks `pending` and the loop terminates.
+    for (auto it = pending.begin();
+         it != pending.end() && batch.size() < config_.max_batch;) {
+      if (it->entry.get() == key && !conflicts_with(batch, *it)) {
+        batch.push_back(std::move(*it));
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Linger only while this batch is the sole local work: lingering with
+    // other requests waiting would delay them without widening this batch
+    // any faster (their execution time is itself a natural accumulation
+    // window for ours).  Drain mode dispatches immediately.
+    // acquire: pairs with shutdown()'s store; a stale false only costs
+    // one linger window — the eventcount handshake inside linger_fill
+    // still guarantees the shutdown notify is not lost.
+    if (pending.empty() && deferred.empty() &&
+        batch.size() < config_.max_batch &&
+        !stopping_.load(std::memory_order_acquire)) {
+      linger_fill(key, home, batch, pending);
+    }
+    std::vector<Request> clashed = inflight_.claim(batch);
+    if (!clashed.empty()) {
+      plane_.conflict_deferrals.fetch_add(clashed.size(),
+                                          std::memory_order_relaxed);
+      for (Request& r : clashed) deferred.push_back(std::move(r));
+    }
+    if (!batch.empty()) break;
+    // The whole candidate batch is parked behind another dispatcher's
+    // in-flight operands; try the next entry in arrival order.
+  }
+  // Deferred requests return to the front in original order: they stay
+  // first in line for the retirement that unblocks them.
+  for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+    pending.push_front(std::move(*it));
   }
   return batch;
 }
 
-void Scheduler::retire_inflight(const std::vector<Request>& batch) {
-  {
-    MutexLock lock(mutex_);
-    for (const Request& r : batch) {
-      const auto dec = [](std::map<const double*, unsigned>& counts,
-                          const double* p) {
-        const auto it = counts.find(p);
-        if (it != counts.end() && --it->second == 0) counts.erase(it);
-      };
-      dec(inflight_xs_, r.x);
-      dec(inflight_ys_, r.y);
+void Scheduler::linger_fill(const MatrixRegistry::Entry* key,
+                            std::size_t home, std::vector<Request>& batch,
+                            std::deque<Request>& pending) {
+  if (config_.max_linger.count() == 0 || batch.empty()) return;
+  // Deadline anchored to the oldest request's enqueue time, so a request
+  // never waits more than max_linger total no matter how its batch forms.
+  const auto deadline = batch.front().enqueued + config_.max_linger;
+  // acquire: as in build_batch — shutdown wake-up is handled by the
+  // eventcount handshake; this check just exits promptly.
+  while (batch.size() < config_.max_batch && pending.empty() &&
+         !stopping_.load(std::memory_order_acquire)) {
+    // Pull fresh arrivals straight into the batch; anything foreign (an
+    // other entry, or an intra-batch conflict) parks in pending.
+    bool grew = false;
+    bool freed = false;
+    Request req;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::size_t s = (home + i) % shards_.size();
+      while (batch.size() < config_.max_batch &&
+             shards_[s]->ring.try_pop(req)) {
+        freed = true;
+        if (s != home) {
+          req.stolen = true;
+          plane_.steal_requests.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (req.entry.get() == key && !conflicts_with(batch, req)) {
+          batch.push_back(std::move(req));
+          grew = true;
+        } else {
+          pending.push_back(std::move(req));
+        }
+      }
+      if (batch.size() >= config_.max_batch) break;
     }
-    ++epoch_;
+    if (freed) space_ec_.notify_all();  // ring slots freed
+    // Stall detection: an arrival sweep that brought only foreign work
+    // means every client of THIS entry is already queued or blocked on a
+    // future we hold — no amount of further lingering can widen the
+    // batch, so dispatch (the loop condition sees pending non-empty).
+    // Wakes without any arrival (spurious, or another dispatcher's
+    // retire broadcast) keep lingering — treating them as stalls would
+    // collapse batch width under multi-dispatcher pipelined load.
+    if (grew || !pending.empty()) continue;
+    const std::uint64_t ticket = work_ec_.prepare_wait();
+    // seq_cst: the waiter side of the eventcount handshake — ordered
+    // after prepare_wait so a push or shutdown notify between our sweep
+    // above and the sleep below is either seen here or wakes us.
+    if (stopping_.load(std::memory_order_seq_cst) || any_shard_nonempty()) {
+      work_ec_.cancel_wait();
+      continue;
+    }
+    plane_.dispatcher_sleeps.fetch_add(1, std::memory_order_relaxed);
+    if (work_ec_.commit_wait_until(ticket, deadline) ==
+        std::cv_status::timeout) {
+      break;
+    }
   }
-  // Conflict-deferred requests may now be dispatchable.
-  work_cv_.notify_all();
+}
+
+void Scheduler::fail_request(Request& req, ServeErrorCode code,
+                             const char* what) {
+  req.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
+  req.promise.set_exception(std::make_exception_ptr(ServeError(code, what)));
 }
 
 void Scheduler::execute_batch(std::vector<Request> batch) {
@@ -232,13 +394,19 @@ void Scheduler::execute_batch(std::vector<Request> batch) {
   std::vector<double*> ys;
   xs.reserve(batch.size());
   ys.reserve(batch.size());
+  bool has_stolen = false;
   for (const Request& r : batch) {
     xs.push_back(r.x);
     ys.push_back(r.y);
+    has_stolen = has_stolen || r.stolen;
     r.stats->queue_latency.record_ns(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(start -
                                                              r.enqueued)
             .count()));
+  }
+  plane_.batch_width.record(batch.size());
+  if (has_stolen) {
+    plane_.steal_batches.fetch_add(1, std::memory_order_relaxed);
   }
   const MatrixRegistry::Entry& entry = *batch.front().entry;
   MatrixServeStats& stats = *batch.front().stats;
@@ -263,69 +431,172 @@ void Scheduler::execute_batch(std::vector<Request> batch) {
       r.promise.set_exception(err);
     }
   }
-  retire_inflight(batch);
+  inflight_.release(batch);
+  // seq_cst RMW: the publish side of the retirement handshake — a
+  // dispatcher whose work is all conflict-deferred reads this counter,
+  // prepares a wait, and re-reads it (both seq_cst).  In the total order
+  // either its re-read sees this bump, or its prepare precedes the
+  // notify's fence below, which then sees the waiter and wakes it.
+  retire_count_.fetch_add(1, std::memory_order_seq_cst);
+  // Conflict-deferred requests may now be dispatchable.
+  work_ec_.notify_all();
 }
 
-void Scheduler::dispatcher_loop() {
+void Scheduler::dispatcher_loop(unsigned tid) {
+  const std::size_t home = tid % shards_.size();
+  // Requests this dispatcher has popped but not yet dispatched: stolen
+  // overflow beyond one batch, and conflict-deferred requests waiting out
+  // another dispatcher's in-flight batch.
+  std::deque<Request> pending;
   for (;;) {
-    std::vector<Request> batch;
-    {
-      MutexLock lock(mutex_);
-      while (!stopping_ && (paused_ || queue_.empty())) {
-        work_cv_.wait(mutex_);
+    // acquire: makes discard_'s relaxed store visible once stopping_
+    // reads true (discard_ is stored before stopping_'s release).
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && discard_.load(std::memory_order_relaxed)) {
+      // relaxed ok above: ordered by the acquire on stopping_.
+      for (Request& r : pending) {
+        fail_request(r, ServeErrorCode::kShutdown,
+                     "serve: scheduler shut down before the request was "
+                     "dispatched");
       }
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      if (stopping_ && discard_) return;  // shutdown() fails the queue
-      batch = collect_batch();
-      if (batch.empty() && !queue_.empty()) {
-        // Everything dispatchable conflicts with a batch in flight on
-        // another dispatcher.  Sleep until the queue state changes (a
-        // batch retires or new work arrives) instead of spinning on the
-        // still-true "queue not empty" predicate.
-        const std::uint64_t seen = epoch_;
-        while (!stopping_ && epoch_ == seen) work_cv_.wait(mutex_);
-        continue;
-      }
+      pending.clear();
+      return;  // shutdown() sweeps what's left in the rings
     }
-    if (batch.empty()) continue;
-    space_cv_.notify_all();  // the queue shrank; unblock submitters
+    if (!stopping && paused_.load(std::memory_order_acquire)) {
+      // acquire: pairs with resume()'s release store.
+      const std::uint64_t ticket = work_ec_.prepare_wait();
+      // seq_cst / acquire: re-check after the wait announcement so a
+      // resume() or shutdown() between the gate check and here is caught
+      // (the eventcount fence pairing makes this race-free).
+      if (paused_.load(std::memory_order_acquire) &&
+          !stopping_.load(std::memory_order_seq_cst)) {
+        plane_.dispatcher_sleeps.fetch_add(1, std::memory_order_relaxed);
+        work_ec_.commit_wait(ticket);
+      } else {
+        work_ec_.cancel_wait();
+      }
+      continue;
+    }
+    fill_pending(home, pending);
+    if (pending.empty()) {
+      if (stopping) return;  // drained
+      const std::uint64_t ticket = work_ec_.prepare_wait();
+      // seq_cst: re-check ordered after the wait announcement — a submit
+      // whose push landed before its notify saw "no waiters" is caught
+      // here; otherwise its notify sees us and wakes (Dekker pairing via
+      // the eventcount's fence).
+      if (stopping_.load(std::memory_order_seq_cst) ||
+          any_shard_nonempty()) {
+        work_ec_.cancel_wait();
+        continue;
+      }
+      plane_.dispatcher_sleeps.fetch_add(1, std::memory_order_relaxed);
+      work_ec_.commit_wait(ticket);
+      continue;
+    }
+    // Snapshot the retirement count BEFORE build_batch's conflict check.
+    // If it were read after, a sibling could release its conflicting
+    // operands and bump the count inside that window: the snapshot would
+    // already contain the bump, the sleep re-check below would see "no
+    // change", and this dispatcher would park forever holding the only
+    // copies of the deferred requests (the sibling, with empty rings,
+    // parks too — deadlock).  Taken first, any retirement that lands
+    // after the conflict decision either changes the count by the
+    // re-check or its notify_all arrives after prepare_wait and wakes us.
+    // seq_cst: pairs with execute_batch's seq_cst bump — see there.
+    const std::uint64_t seen = retire_count_.load(std::memory_order_seq_cst);
+    std::vector<Request> batch = build_batch(home, pending);
+    if (batch.empty()) {
+      // Everything local is parked behind another dispatcher's in-flight
+      // batch.  Sleep until a retirement (or new work) changes the
+      // picture instead of spinning on a still-true predicate.
+      const std::uint64_t ticket = work_ec_.prepare_wait();
+      // seq_cst on all three: ordered after the wait announcement, so a
+      // retirement/submit/shutdown between the loads above and the sleep
+      // either shows up here or its notify wakes us.
+      if (retire_count_.load(std::memory_order_seq_cst) != seen ||
+          stopping_.load(std::memory_order_seq_cst) ||
+          any_shard_nonempty()) {
+        work_ec_.cancel_wait();
+      } else {
+        plane_.dispatcher_sleeps.fetch_add(1, std::memory_order_relaxed);
+        work_ec_.commit_wait(ticket);
+      }
+      continue;
+    }
     execute_batch(std::move(batch));
   }
 }
 
 void Scheduler::shutdown(Drain mode) {
-  std::deque<Request> discarded;
-  {
-    MutexLock lock(mutex_);
-    stopping_ = true;
-    ++epoch_;
-    if (mode == Drain::kDiscard) {
-      discard_ = true;
-      discarded.swap(queue_);
-    }
+  if (mode == Drain::kDiscard) {
+    // relaxed: published by the release half of the stopping_ store below
+    // — any thread that acquires stopping_ == true also sees discard_.
+    discard_.store(true, std::memory_order_relaxed);
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  for (Request& r : discarded) {
-    r.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
-    r.promise.set_exception(std::make_exception_ptr(ServeError(
-        ServeErrorCode::kShutdown, "serve: scheduler shut down before "
-                                   "the request was dispatched")));
+  // seq_cst: the shutdown side of the Dekker handshake with submit() —
+  // globally ordered against each submit's announce-then-check, so every
+  // submit either observes this store (and fails with kShutdown, pushing
+  // nothing) or its announcement is visible to the spin-wait below.
+  stopping_.store(true, std::memory_order_seq_cst);
+  work_ec_.notify_all();
+  space_ec_.notify_all();
+  // Wait out racing submits: once the counter reads zero, every announced
+  // submit has finished, and the RMW release sequence on the counter makes
+  // each one's push visible to the sweep below.  Blocked kBlock submitters
+  // were woken above and fail out through their stopping_ re-check.
+  // seq_cst: the read side of the handshake described at the store above.
+  while (submits_in_flight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
   }
   std::vector<std::thread> to_join;
   {
-    MutexLock lock(mutex_);
+    MutexLock lock(join_mutex_);
     if (!joined_) {
       joined_ = true;
       to_join.swap(dispatchers_);
     }
   }
   for (std::thread& t : to_join) t.join();
+  // Final sweep: requests whose push raced the dispatchers' exit (and, in
+  // discard mode, everything the dispatchers never pulled).  Dispatchers
+  // are joined, so this runs single-threaded: kDrain executes each
+  // request inline (release() on unclaimed operands is a no-op by
+  // design), kDiscard fails them.
+  // relaxed: dispatchers are joined; nothing concurrent remains.
+  const bool discard =
+      mode == Drain::kDiscard || discard_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    Request req;
+    while (shard->ring.try_pop(req)) {
+      if (discard) {
+        fail_request(req, ServeErrorCode::kShutdown,
+                     "serve: scheduler shut down before the request was "
+                     "dispatched");
+      } else {
+        std::vector<Request> one;
+        one.push_back(std::move(req));
+        execute_batch(std::move(one));
+      }
+    }
+  }
 }
 
-ServeStatsSnapshot Scheduler::stats() const { return stats_.snapshot(); }
+ServeStatsSnapshot Scheduler::stats() const {
+  ServeStatsSnapshot out = stats_.snapshot();
+  out.data_plane.shards = config_.shards;
+  out.data_plane.dispatchers = config_.dispatch_threads;
+  out.data_plane.steal_requests =
+      plane_.steal_requests.load(std::memory_order_relaxed);
+  out.data_plane.steal_batches =
+      plane_.steal_batches.load(std::memory_order_relaxed);
+  out.data_plane.conflict_deferrals =
+      plane_.conflict_deferrals.load(std::memory_order_relaxed);
+  out.data_plane.dispatcher_sleeps =
+      plane_.dispatcher_sleeps.load(std::memory_order_relaxed);
+  out.data_plane.batch_width = plane_.batch_width.snapshot();
+  out.data_plane.queue_depth = plane_.queue_depth.snapshot();
+  return out;
+}
 
 }  // namespace spmv::serve

@@ -1,19 +1,42 @@
-// Request-coalescing SpMV scheduler: the serving front door.
+// Request-coalescing SpMV scheduler on a sharded lock-free data plane:
+// the serving front door.
 //
-// Williams et al. win SpMV throughput by amortizing per-multiply overheads
-// across work; PR 2/3 built the kernel-level levers (one shared pool,
-// batched multiply, spin-barrier dispatch).  This scheduler extends the
-// same insight to the request level: any number of client threads
-// submit(matrix_id, x, y) and get a future; a dispatcher coalesces queued
-// requests that target the same registry entry into a single
-// Executor::multiply_batch call, so one dispatch/barrier pays for the
-// whole batch.  The knobs are the classic batching-vs-latency tradeoff:
+// Williams et al. win SpMV throughput by eliminating per-operation
+// overheads that serialize the machine; the first scheduler had exactly
+// such an overhead — one mutex-guarded deque drained by condvar-woken
+// dispatchers delivered ~0.4-0.5x of direct-call throughput at every
+// client count.  This version shards the data plane so the request path
+// serializes on nothing:
+//
+//   submit(x, y) ──hash(thread id)──► shard 0  [MpmcQueue]  ─┐
+//   submit(x, y) ───────────────────► shard 1  [MpmcQueue]  ─┤ steal
+//        ...                              ...                ├──────► N
+//   submit(x, y) ───────────────────► shard K  [MpmcQueue]  ─┘  dispatchers
+//                          │
+//                          └── EventCount::notify_one() — one atomic load
+//                              when every dispatcher is already busy
+//
+//   * Submitters push onto their thread's home shard (lock-free Vyukov
+//     ring, util/mpmc_queue.h) and wake at most one sleeping dispatcher
+//     through an eventcount (util/eventcount.h) — the steady-state submit
+//     path takes no lock and wakes nobody who is already awake.
+//   * Each dispatcher drains its own shard first, then *steals* from
+//     sibling shards until it has a full batch — stealing preserves
+//     coalescing width instead of fragmenting it across shards.
+//   * Same-entry requests coalesce into one Executor::multiply_batch, as
+//     before; operand-conflict tracking (duplicate y / x-aliasing-y
+//     across concurrently executing batches) lives in a flat-hash
+//     tracker touched once per batch, not once per request, and never on
+//     the submit path.
+//
+// The knobs are the classic batching-vs-latency tradeoff:
 //
 //   * max_batch    — widest coalesced dispatch (amortization ceiling);
 //   * max_linger   — how long the head request may wait for company
 //                    (latency floor under light load, width under heavy);
 //   * queue_capacity + overflow policy — bounded queue: block the
-//                    submitter (backpressure) or fail fast (kQueueFull).
+//                    submitter (backpressure) or fail fast (kQueueFull);
+//   * dispatch_threads / shards — data-plane width.
 //
 // Lifecycle safety comes from the registry's refcounting: submit() pins
 // the entry, so a request races freely with put()/erase() on its name —
@@ -24,11 +47,11 @@
 // accumulation).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <map>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -38,6 +61,9 @@
 
 #include "serve/registry.h"
 #include "serve/serve_stats.h"
+#include "util/eventcount.h"
+#include "util/flat_hash.h"
+#include "util/mpmc_queue.h"
 #include "util/thread_annotations.h"
 
 namespace spmv::serve {
@@ -73,14 +99,23 @@ struct SchedulerConfig {
   /// clients are already queued or blocked on us), so it dispatches.
   std::chrono::microseconds max_linger{100};
   /// Bounded queue: submits beyond this either block (backpressure) or
-  /// fail fast, per `overflow`.
+  /// fail fast, per `overflow`.  The capacity is split evenly across
+  /// shards and each shard's share rounds up to a power of two no smaller
+  /// than 2 (a structural minimum of the lock-free ring), so the
+  /// effective total can round up; a submitter whose home shard is full
+  /// overflows onto siblings before blocking or rejecting, so the full
+  /// capacity is reachable from any thread.
   std::size_t queue_capacity = 4096;
   enum class OverflowPolicy : std::uint8_t { kBlock, kReject };
   OverflowPolicy overflow = OverflowPolicy::kBlock;
-  /// Dispatcher threads draining the queue.  More than one lets batches
+  /// Dispatcher threads draining the shards.  More than one lets batches
   /// for different matrices execute concurrently (they still serialize on
   /// the engine's dispatch lock for the actual pool work).
   unsigned dispatch_threads = 1;
+  /// Request-queue shards.  0 (default) means one per dispatcher.
+  /// Submitters hash to a home shard by thread id; dispatcher i owns
+  /// shard i mod shards and steals from the rest.
+  unsigned shards = 0;
   /// Start with dispatching suspended until resume() — lets tests (and
   /// warm-up code) enqueue a known set of requests and observe exactly how
   /// they coalesce.
@@ -102,19 +137,21 @@ class Scheduler {
   /// x/y memory must stay valid and untouched until the future is ready;
   /// x and y must not alias, and y must be distinct per in-flight request.
   /// Thread-safe; may block when the queue is full under kBlock.  Must not
-  /// be called from an engine pool worker.
+  /// be called from an engine pool worker: a kBlock wait there can
+  /// deadlock the pool (the dispatcher needs the pool to drain the
+  /// queue), so this is enforced — such a call throws std::logic_error
+  /// immediately instead of deadlocking under load.
   std::future<void> submit(const std::string& name, std::span<const double> x,
-                           std::span<double> y) SPMV_EXCLUDES(mutex_);
+                           std::span<double> y);
 
   /// Same, with the registry lookup already done (pins `entry`): clients
   /// holding a hot entry skip the name lookup, and requests for a retired
   /// version still execute.
   std::future<void> submit(MatrixRegistry::EntryPtr entry,
-                           std::span<const double> x, std::span<double> y)
-      SPMV_EXCLUDES(mutex_);
+                           std::span<const double> x, std::span<double> y);
 
   /// Begin dispatching when constructed with start_paused.  Idempotent.
-  void resume() SPMV_EXCLUDES(mutex_);
+  void resume();
 
   enum class Drain : std::uint8_t {
     kDrain,    ///< run every queued request, then stop
@@ -123,7 +160,7 @@ class Scheduler {
 
   /// Stop the dispatchers.  Safe to call twice; after shutdown every
   /// submit() fails fast with kShutdown.
-  void shutdown(Drain mode = Drain::kDrain) SPMV_EXCLUDES(mutex_);
+  void shutdown(Drain mode = Drain::kDrain) SPMV_EXCLUDES(join_mutex_);
 
   [[nodiscard]] ServeStatsSnapshot stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
@@ -136,53 +173,105 @@ class Scheduler {
     std::promise<void> promise;
     std::shared_ptr<MatrixServeStats> stats;
     std::chrono::steady_clock::time_point enqueued;
+    bool stolen = false;  ///< popped from a shard its dispatcher doesn't own
   };
 
-  void dispatcher_loop() SPMV_EXCLUDES(mutex_);
-  /// Pop a batch for the head request's entry (up to max_batch, skipping
-  /// requests whose operands conflict with the batch or with any batch
-  /// another dispatcher is currently executing), honoring the linger
-  /// window (the lock drops while lingering in work_cv_).  Registers the
-  /// collected batch's operands as in-flight.  Returns empty when
-  /// stopping with an empty queue, or when every candidate is
-  /// conflict-deferred (wait for the epoch to advance).
-  std::vector<Request> collect_batch() SPMV_REQUIRES(mutex_);
-  void execute_batch(std::vector<Request> batch) SPMV_EXCLUDES(mutex_);
-  /// Drop `batch`'s operands from the in-flight sets, bump the epoch, and
-  /// wake dispatchers whose candidates were conflict-deferred.
-  void retire_inflight(const std::vector<Request>& batch)
-      SPMV_EXCLUDES(mutex_);
+  /// One request-queue shard.  Padded so neighboring shards' ring cursors
+  /// never share a cache line.
+  struct alignas(kCacheLineSize) Shard {
+    explicit Shard(std::size_t capacity) : ring(capacity) {}
+    MpmcQueue<Request> ring;
+  };
+
+  /// Operands of batches currently executing on some dispatcher.  A
+  /// request conflicts — and stays with its dispatcher, deferred — while
+  /// its y is registered as an in-flight x or y, or its x as an in-flight
+  /// y, so concurrent dispatchers can never race two batches over shared
+  /// memory.  One mutex acquisition per batch (claim) and one per
+  /// retirement (release); the submit path never touches it.
+  class InflightTracker {
+   public:
+    /// Remove from `batch` every request whose operands collide with a
+    /// registered batch and return them (order preserved); register the
+    /// operands of the requests that remain.
+    std::vector<Request> claim(std::vector<Request>& batch)
+        SPMV_EXCLUDES(mutex_);
+    /// Drop `batch`'s operands from the in-flight sets.
+    void release(const std::vector<Request>& batch) SPMV_EXCLUDES(mutex_);
+
+   private:
+    Mutex mutex_;
+    FlatCountMap<const double*> xs_ SPMV_GUARDED_BY(mutex_);
+    FlatCountMap<const double*> ys_ SPMV_GUARDED_BY(mutex_);
+  };
+
+  void dispatcher_loop(unsigned tid);
+  /// Push `req` onto the home shard, overflowing onto siblings when the
+  /// home ring is full; `req` is untouched when every ring is full.
+  bool try_push_any(std::size_t home, Request& req);
+  /// Pop from `shard`'s ring into `pending` until the ring is dry or
+  /// `pending` reaches `target`; counts steals when the shard is not the
+  /// dispatcher's home.  Returns how many requests were popped.
+  std::size_t pull_shard(std::size_t shard, std::size_t home,
+                         std::deque<Request>& pending, std::size_t target);
+  /// Top `pending` up to at least max_batch requests: home shard first,
+  /// then steal from siblings — stealing keeps batches wide instead of
+  /// fragmenting same-matrix traffic across shards.
+  std::size_t fill_pending(std::size_t home, std::deque<Request>& pending);
+  /// Build a dispatchable batch from `pending`: pick the head request's
+  /// entry, gather up to max_batch same-entry requests without intra-batch
+  /// operand conflicts, linger for stragglers when the batch is the only
+  /// local work, then claim the batch's operands in the in-flight
+  /// tracker (conflicting requests go back to `pending`, deferred until a
+  /// retirement).  Tries later entries when the head's are all deferred.
+  /// Empty result means everything in `pending` is conflict-deferred.
+  std::vector<Request> build_batch(std::size_t home,
+                                   std::deque<Request>& pending);
+  /// Linger: give `batch` time to fill before paying a dispatch for it.
+  /// Only called while `pending` is empty (lingering while other entries
+  /// wait would delay them without widening this batch any faster).
+  void linger_fill(const MatrixRegistry::Entry* key, std::size_t home,
+                   std::vector<Request>& batch, std::deque<Request>& pending);
+  void execute_batch(std::vector<Request> batch);
+  static void fail_request(Request& req, ServeErrorCode code,
+                           const char* what);
+  /// Would `r` race `batch` inside one dispatch?  The engine's batch path
+  /// runs right-hand sides unordered, so a duplicated y or an x aliasing
+  /// a batch member's y must split into a later dispatch.
+  static bool conflicts_with(const std::vector<Request>& batch,
+                             const Request& r);
+  /// Home shard of the calling thread (stable per thread).
+  [[nodiscard]] std::size_t home_shard() const;
+  [[nodiscard]] bool any_shard_nonempty() const;
 
   MatrixRegistry& registry_;
   SchedulerConfig config_;
   ServeStats stats_;
+  DataPlaneStats plane_;
 
-  mutable Mutex mutex_;
-  CondVar work_cv_;   ///< dispatchers: work or stop
-  CondVar space_cv_;  ///< blocked submitters: space or stop
-  std::deque<Request> queue_ SPMV_GUARDED_BY(mutex_);
-  bool paused_ SPMV_GUARDED_BY(mutex_) = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  EventCount work_ec_;   ///< dispatchers sleep here; submit/retire notify
+  EventCount space_ec_;  ///< kBlock submitters sleep here; pops notify
+  InflightTracker inflight_;
+
+  std::atomic<bool> paused_{false};
   /// No new submits; dispatchers wind down.
-  bool stopping_ SPMV_GUARDED_BY(mutex_) = false;
+  std::atomic<bool> stopping_{false};
   /// stopping_ without draining.
-  bool discard_ SPMV_GUARDED_BY(mutex_) = false;
-  /// Queue-state generation: bumped on enqueue, batch completion, resume,
-  /// and shutdown, so a dispatcher whose candidates were all
-  /// conflict-deferred can sleep until something changes instead of
-  /// spinning.
-  std::uint64_t epoch_ SPMV_GUARDED_BY(mutex_) = 0;
-  /// Bumped only on enqueue: lets the linger stall-detector tell real
-  /// arrivals apart from retire/resume/spurious condvar wakes (which must
-  /// not end the window early).
-  std::uint64_t enqueue_count_ SPMV_GUARDED_BY(mutex_) = 0;
-  /// Operands of batches currently executing on some dispatcher
-  /// (pointer → refcount).  A request conflicts — and stays queued — while
-  /// its y is in either set or its x is an in-flight y, so concurrent
-  /// dispatchers can never race two batches over shared memory.
-  std::map<const double*, unsigned> inflight_xs_ SPMV_GUARDED_BY(mutex_);
-  std::map<const double*, unsigned> inflight_ys_ SPMV_GUARDED_BY(mutex_);
-  std::vector<std::thread> dispatchers_ SPMV_GUARDED_BY(mutex_);
-  bool joined_ SPMV_GUARDED_BY(mutex_) = false;
+  std::atomic<bool> discard_{false};
+  /// Dekker counterpart to stopping_: submits announce themselves before
+  /// checking stopping_, so shutdown() can wait out racing pushes and
+  /// then sweep the rings exactly once (see submit/shutdown).
+  std::atomic<unsigned> submits_in_flight_{0};
+  /// Bumped when a batch retires its in-flight operands: dispatchers
+  /// whose whole pending set is conflict-deferred sleep until this
+  /// changes (work_ec_ delivers the wake; the counter closes the
+  /// check-then-sleep race).
+  std::atomic<std::uint64_t> retire_count_{0};
+
+  Mutex join_mutex_;
+  std::vector<std::thread> dispatchers_ SPMV_GUARDED_BY(join_mutex_);
+  bool joined_ SPMV_GUARDED_BY(join_mutex_) = false;
 };
 
 }  // namespace spmv::serve

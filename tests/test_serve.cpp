@@ -10,9 +10,11 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "engine/execution_context.h"
 #include "engine/executor.h"
 #include "gen/generators.h"
@@ -494,6 +496,212 @@ TEST(ServeScheduler, DestructorDrainsPendingRequests) {
   engine::Executor exec(reg.find("A")->plan);
   exec.multiply(x, expect);
   for (const auto& y : ys) EXPECT_EQ(y, expect);
+}
+
+TEST(ServeSharded, StealCoalescesAcrossShards) {
+  // Work stealing must preserve coalescing width, not fragment it: with
+  // the scheduler paused, requests submitted from many threads hash into
+  // different shards, and the single dispatcher's fill sweep (own shard
+  // first, then steal from every sibling) must still assemble ONE batch.
+  // start_paused makes this deterministic — everything is queued before
+  // the dispatcher takes its first pull.
+  engine::ExecutionContext ctx({.pin_threads = false});
+  MatrixRegistry reg;
+  const CsrMatrix m = gen::fem_like(180, 2, 8.0, 30, 21);
+  reg.put("A", m, serve_options(&ctx, 2));
+  const MatrixRegistry::EntryPtr entry = reg.find("A");
+  const std::vector<double> x = random_vector(m.cols(), 22);
+  const std::vector<double> expect = direct_result(*entry, x, 0.0);
+
+  constexpr std::size_t kSubmitters = 16;
+  constexpr std::size_t kPerThread = 2;
+  constexpr std::size_t kRequests = kSubmitters * kPerThread;
+  Scheduler sched(reg, {.max_batch = kRequests,
+                        .max_linger = std::chrono::microseconds(100),
+                        .dispatch_threads = 1,
+                        .shards = 4,
+                        .start_paused = true});
+  std::vector<std::vector<double>> ys(kRequests,
+                                      std::vector<double>(m.rows(), 0.0));
+  std::vector<std::future<void>> futs(kRequests);
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          const std::size_t r = t * kPerThread + i;
+          futs[r] = sched.submit(entry, x, ys[r]);
+        }
+      });
+    }
+    for (std::thread& s : submitters) s.join();
+  }
+  sched.resume();
+  for (auto& f : futs) f.get();
+  for (const auto& y : ys) EXPECT_EQ(y, expect);  // bit-identical
+
+  const ServeStatsSnapshot snap = sched.stats();
+  const MatrixStatsSnapshot* a = snap.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->requests_completed, kRequests);
+  EXPECT_EQ(a->batches_dispatched, 1u);  // stealing kept the batch whole
+  EXPECT_EQ(a->max_batch_width, kRequests);
+  EXPECT_EQ(snap.data_plane.shards, 4u);
+  EXPECT_EQ(snap.data_plane.dispatchers, 1u);
+  // 16 distinct submitter threads over 4 shards: some requests landed off
+  // the dispatcher's home shard, so the sweep must have stolen.  (All 16
+  // thread ids hashing to one shard has probability ~4^-15.)
+  EXPECT_GT(snap.data_plane.steal_requests, 0u);
+  EXPECT_GT(snap.data_plane.steal_batches, 0u);
+  EXPECT_EQ(snap.data_plane.batch_width.count, 1u);
+  EXPECT_EQ(snap.data_plane.batch_width.total, kRequests);
+  EXPECT_EQ(snap.data_plane.queue_depth.count, kRequests);
+}
+
+TEST(ServeSharded, FourDispatchersBitIdenticalUnderClientRace) {
+  // The widest sharded configuration the acceptance bar names: four
+  // dispatchers (four shards), eight racing client threads, results still
+  // bit-identical to a direct multiply on the same plan.
+  engine::ExecutionContext ctx({.pin_threads = false});
+  MatrixRegistry reg;
+  const CsrMatrix m = gen::fem_like(260, 3, 9.0, 40, 23);
+  reg.put("A", m, serve_options(&ctx, 2));
+  const MatrixRegistry::EntryPtr entry = reg.find("A");
+  const std::vector<double> x = random_vector(m.cols(), 24);
+  constexpr double kFill = 0.25;
+  const std::vector<double> expect = direct_result(*entry, x, kFill);
+
+  SchedulerConfig sc;
+  sc.max_batch = 8;
+  sc.dispatch_threads = 4;
+  Scheduler sched(reg, sc);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::vector<std::vector<std::vector<double>>> ys(kClients);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    ys[c].assign(kPerClient, std::vector<double>(m.rows(), kFill));
+    clients.emplace_back([&, c] {
+      std::vector<std::future<void>> futs;
+      futs.reserve(kPerClient);
+      for (int i = 0; i < kPerClient; ++i) {
+        futs.push_back(sched.submit(entry, x, ys[c][i]));
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        futs[i].get();
+        if (ys[c][i] != expect) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0);
+
+  const ServeStatsSnapshot snap = sched.stats();
+  const MatrixStatsSnapshot* a = snap.find("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->requests_completed,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(snap.data_plane.dispatchers, 4u);
+  EXPECT_EQ(snap.data_plane.shards, 4u);
+}
+
+TEST(ServeConcurrency, HotSwapAndShutdownRaceResolvesEveryFuture) {
+  // The nastiest lifecycle race the sharded plane must survive: clients
+  // hammering submit-by-name while the registry hot-swaps and erases the
+  // entry underneath them, and the scheduler shuts down mid-load.  Run
+  // once per drain mode.  The contract is not which requests succeed —
+  // that is timing — but that EVERY future resolves (value or a defined
+  // ServeError) and nothing deadlocks or races (TSan gates this test).
+  for (const Scheduler::Drain mode :
+       {Scheduler::Drain::kDrain, Scheduler::Drain::kDiscard}) {
+    engine::ExecutionContext ctx({.pin_threads = false});
+    MatrixRegistry reg;
+    const CsrMatrix ma = gen::banded(140, 3, 0.8, 25);
+    const CsrMatrix mb = gen::banded(140, 5, 0.7, 26);
+    reg.put("A", ma, serve_options(&ctx, 1));
+
+    SchedulerConfig sc;
+    sc.max_batch = 4;
+    sc.dispatch_threads = 2;
+    sc.queue_capacity = 64;
+    sc.overflow = SchedulerConfig::OverflowPolicy::kReject;
+    Scheduler sched(reg, sc);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 60;
+    std::atomic<int> resolved{0};
+    std::atomic<int> undefined_errors{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const std::vector<double> x = random_vector(ma.cols(), 40 + c);
+        std::vector<std::vector<double>> dests(
+            kPerClient, std::vector<double>(ma.rows(), 0.0));
+        for (int i = 0; i < kPerClient; ++i) {
+          try {
+            sched.submit("A", x, dests[i]).get();
+          } catch (const ServeError&) {
+            // kUnknownMatrix (erased), kQueueFull (reject), kShutdown —
+            // all defined outcomes under this race.
+          } catch (...) {
+            undefined_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Hot-swap loop on the main thread while clients run.
+    for (int swap = 0; swap < 10; ++swap) {
+      reg.put("A", swap % 2 == 0 ? mb : ma, serve_options(&ctx, 1));
+      if (swap == 5) reg.erase("A");
+      std::this_thread::yield();
+    }
+    reg.put("A", ma, serve_options(&ctx, 1));
+    // Shut down while clients are still submitting: in-flight submits
+    // must either land before the stop flag or fail with kShutdown.
+    sched.shutdown(mode);
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(resolved.load(std::memory_order_relaxed),
+              kClients * kPerClient);
+    EXPECT_EQ(undefined_errors.load(std::memory_order_relaxed), 0);
+  }
+}
+
+TEST(ServeScheduler, SubmitFromEnginePoolWorkerFailsFast) {
+  // submit() can block (kBlock backpressure) and parks on an eventcount
+  // that only dispatchers signal; called from an engine pool worker that
+  // a dispatcher is itself waiting on, that is a deadlock by
+  // construction.  The scheduler must refuse loudly, not hang quietly.
+  engine::ExecutionContext ctx({.pin_threads = false});
+  MatrixRegistry reg;
+  const CsrMatrix m = gen::dense(10);
+  reg.put("A", m, serve_options(&ctx, 1));
+  Scheduler sched(reg, {});
+  const std::vector<double> x = random_vector(10, 50);
+
+  ThreadPool pool(2, /*pin=*/false);
+  std::atomic<int> refused{0};
+  pool.run([&](unsigned) {
+    std::vector<double> y(10, 0.0);
+    try {
+      sched.submit("A", x, y);
+    } catch (const std::logic_error&) {
+      refused.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(refused.load(std::memory_order_relaxed), 2);
+
+  // From an ordinary thread the same submit works.
+  std::vector<double> y(10, 0.0);
+  EXPECT_NO_THROW(sched.submit("A", x, y).get());
+  EXPECT_EQ(y, direct_result(*reg.find("A"), x, 0.0));
 }
 
 TEST(ServeStats, LatencyHistogramBucketsMeanAndQuantiles) {

@@ -21,6 +21,13 @@ cannot fully enforce by itself:
     that were carefully argued once erode silently when later edits copy
     the call without the argument; this keeps the argument attached.
 
+ 3. In the lock-free data-structure headers (LOCKFREE_FILES) the bar is
+    higher: EVERY atomic operation — relaxed and acquire/release included
+    — must carry an adjacent ordering comment.  In a mutex-protected file
+    a relaxed counter is usually self-evident; in a Vyukov ring or an
+    eventcount the choice of relaxed-vs-acquire IS the algorithm, so an
+    unargued order is indistinguishable from an unconsidered one.
+
 Exit status 1 when any violation is found.  A line can be exempted with a
 comment containing `lint:allow-concurrency` plus a justification.
 """
@@ -43,6 +50,13 @@ THREAD_FILES = WRAPPER_FILES | {
     "src/serve/scheduler.cpp",
 }
 
+# Lock-free algorithm files: every atomic operation (any order) must argue
+# its memory_order in an adjacent comment — see module doc point 3.
+LOCKFREE_FILES = {
+    "src/util/mpmc_queue.h",
+    "src/util/eventcount.h",
+}
+
 RAW_PRIMITIVES = re.compile(
     r"std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
@@ -60,6 +74,12 @@ ATOMIC_OP = re.compile(
 # call forms above are the enforced API.)
 ORDER_COMMENT = re.compile(r"seq_cst|order|Dekker|barrier|fence|handshake",
                            re.IGNORECASE)
+# In lock-free files the argument is usually phrased in acquire/release
+# vocabulary ("acquire: pairs with the release store of seq"), so the
+# recognizer accepts the wider ordering lexicon there.
+LOCKFREE_ORDER_COMMENT = re.compile(
+    r"seq_cst|order|Dekker|barrier|fence|handshake|acquire|release|relaxed|"
+    r"happens-before|pairs with|publish", re.IGNORECASE)
 ALLOW = "lint:allow-concurrency"
 
 
@@ -91,14 +111,14 @@ def call_args(lines, row, col):
     return "".join(out)
 
 
-def has_order_comment(lines, row):
+def has_order_comment(lines, row, pattern=ORDER_COMMENT):
     """An ordering justification on the line, up to 4 above, or 2 below."""
     lo = max(0, row - 4)
     hi = min(len(lines), row + 3)
     for r in range(lo, hi):
         line = lines[r]
         idx = line.find("//")
-        if idx >= 0 and ORDER_COMMENT.search(line[idx:]):
+        if idx >= 0 and pattern.search(line[idx:]):
             return True
         # Block doc-comments (///) count too via the same find above.
     return False
@@ -149,6 +169,14 @@ def lint_file(path: Path, rel: str):
                      f".{op}(memory_order_seq_cst) without an adjacent"
                      " ordering comment: state WHY sequential consistency is"
                      " required (within 4 lines above / 2 below)"))
+            elif rel in LOCKFREE_FILES and not has_order_comment(
+                    lines, i, LOCKFREE_ORDER_COMMENT):
+                violations.append(
+                    (i + 1,
+                     f".{op}() in a lock-free file without an adjacent"
+                     " ordering comment: in these files the memory order IS"
+                     " the algorithm — argue every one (within 4 lines"
+                     " above / 2 below)"))
     return violations
 
 
