@@ -17,7 +17,13 @@
 //                 right-hand side;
 //   serve-open    the same open-loop traffic with coalescing on — the
 //                 batched-vs-unbatched comparison where batching is the
-//                 only variable.
+//                 only variable;
+//   serve-shed    the same open-loop traffic against a deliberately small
+//                 queue under OverflowPolicy::kShed with per-request
+//                 deadlines (--deadline_us=500) — measures the overload
+//                 path: delivered ops/s for the requests that survive
+//                 admission, plus the shed/expired counters from the
+//                 data-plane stats.
 //
 // serve-batch and serve-open each run twice: once against matrices planned
 // with batch_mode=kLooped (suffix "-loop": coalesced dispatches still
@@ -35,7 +41,10 @@
 // 1,2,4,..), --max_batch=32, --linger_us=100, --window=8, --dispatchers=1,
 // --dispatchers_list=1,2,4 (CSV; overrides --dispatchers and repeats every
 // serve mode per value — the data-plane scaling sweep), --point_seconds=<s>
-// (default from --measure_seconds, floored at 0.05).
+// (default from --measure_seconds, floored at 0.05), --deadline_us=500
+// (per-request deadline budget for serve-shed).  The shed and expired
+// columns land in BENCH_serve.json alongside throughput, so the overload
+// behaviour is part of the archived perf trajectory.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -101,6 +110,65 @@ TrafficPoint run_direct(const std::vector<ClientPlan>& clients,
         exec.multiply(*plan.x, y);
         ++n;
       }
+      ops.fetch_add(n);
+      flops.fetch_add(n * 2 * plan.nnz);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {ops.load(), flops.load(), elapsed};
+}
+
+/// Open-loop traffic with per-request deadlines against a kShed
+/// scheduler.  Shed/expired rejections are expected outcomes here — they
+/// resolve as ServeError and are counted from the scheduler's stats by
+/// the caller; ops/flops only count requests that actually completed.
+TrafficPoint run_serve_shed(serve::Scheduler& sched,
+                            const std::vector<ClientPlan>& clients,
+                            std::vector<std::vector<std::vector<double>>>& ys,
+                            std::size_t window, long deadline_us,
+                            double seconds) {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> flops{0};
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back([&, c] {
+      const ClientPlan& plan = clients[c];
+      const auto budget = std::chrono::microseconds(deadline_us);
+      std::deque<std::future<void>> inflight;
+      std::uint64_t n = 0;
+      std::size_t slot = 0;
+      const auto settle = [&](std::future<void>& f) {
+        try {
+          f.get();
+          ++n;
+        } catch (const serve::ServeError&) {
+          // Shed at the door or expired in the queue: a defined,
+          // counted outcome under overload, not a bench failure.
+        }
+      };
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (inflight.size() >= window) {
+          settle(inflight.front());
+          inflight.pop_front();
+        }
+        serve::SubmitOptions opt;
+        opt.deadline = std::chrono::steady_clock::now() + budget;
+        // Alternate priorities so the shed path exercises both the
+        // priority<=0 immediate shed and the EWMA deadline prediction.
+        opt.priority = static_cast<int>(c & 1);
+        inflight.push_back(
+            sched.submit(plan.entry, *plan.x, ys[c][slot], opt).future);
+        slot = (slot + 1) % window;
+      }
+      for (std::future<void>& f : inflight) settle(f);
       ops.fetch_add(n);
       flops.fetch_add(n * 2 * plan.nnz);
     });
@@ -194,6 +262,7 @@ int main(int argc, char** argv) {
   }
   const double point_seconds =
       cli.get_double("point_seconds", std::max(cfg.measure_seconds, 0.05));
+  const auto deadline_us = std::max(1L, cli.get_int("deadline_us", 500));
 
   print_host_banner();
   SuiteCache suite(cfg.scale);
@@ -222,7 +291,8 @@ int main(int argc, char** argv) {
 
   Table table({"mode", "clients", "disp", "ops", "ops/s", "GFlop/s",
                "vs direct", "fused x", "mean width", "max width",
-               "queue p50 us", "queue p95 us", "disp p50 us"});
+               "queue p50 us", "queue p95 us", "disp p50 us", "shed",
+               "expired"});
 
   std::vector<unsigned> sweep;
   for (unsigned c = 1; c <= max_clients; c *= 2) sweep.push_back(c);
@@ -262,6 +332,8 @@ int main(int argc, char** argv) {
       double mean_width = 1.0;
       std::uint64_t max_width = 1;
       double q50 = 0.0, q95 = 0.0, d50 = 0.0;
+      bool has_stats = false;  ///< went through a scheduler (not direct)
+      std::uint64_t shed = 0, expired = 0;
     };
     std::vector<ModeResult> results;
 
@@ -284,7 +356,7 @@ int main(int argc, char** argv) {
         {"serve-open-loop", max_batch, linger_us, window, false, nullptr},
         {"serve-open", max_batch, linger_us, window, true, "serve-open-loop"},
     };
-    for (const unsigned n_disp : disp_list)
+    for (const unsigned n_disp : disp_list) {
     for (const ServeMode& mode : modes) {
       serve::SchedulerConfig sc;
       sc.max_batch = mode.batch;
@@ -298,6 +370,9 @@ int main(int argc, char** argv) {
           run_serve(sched, mode.fused ? clients : clients_loop, ys,
                     mode.win, point_seconds);
       const serve::ServeStatsSnapshot snap = sched.stats();
+      r.has_stats = true;
+      r.shed = snap.data_plane.requests_shed;
+      r.expired = snap.data_plane.requests_expired;
       r.mean_width = snap.mean_batch_width();
       for (const auto& m : snap.matrices) {
         r.max_width = std::max(r.max_width, m.max_batch_width);
@@ -341,6 +416,52 @@ int main(int argc, char** argv) {
       results.push_back(std::move(r));
     }
 
+    // serve-shed: offered load well above a deliberately small kShed
+    // queue, with per-request deadlines — the admission-control path
+    // under genuine overload.  Fused registry, batching on: the question
+    // is how much goodput survives and how much is shed/expired, not
+    // which execution path ran it.
+    {
+      serve::SchedulerConfig sc;
+      sc.max_batch = max_batch;
+      sc.max_linger = std::chrono::microseconds(linger_us);
+      sc.dispatch_threads = n_disp;
+      sc.overflow = serve::SchedulerConfig::OverflowPolicy::kShed;
+      sc.queue_capacity = std::max<std::size_t>(4, 2 * n_clients);
+      serve::Scheduler sched(registry, sc);
+      ModeResult r;
+      r.mode = "serve-shed";
+      r.disp = n_disp;
+      r.traffic = run_serve_shed(sched, clients, ys, window, deadline_us,
+                                 point_seconds);
+      const serve::ServeStatsSnapshot snap = sched.stats();
+      r.has_stats = true;
+      r.shed = snap.data_plane.requests_shed;
+      r.expired = snap.data_plane.requests_expired;
+      r.mean_width = snap.mean_batch_width();
+      serve::LatencyHistogram::Snapshot queue{};
+      for (const auto& m : snap.matrices) {
+        r.max_width = std::max(r.max_width, m.max_batch_width);
+        for (std::size_t b = 0; b < serve::LatencyHistogram::kBuckets; ++b) {
+          queue.buckets[b] += m.queue_latency.buckets[b];
+        }
+        queue.count += m.queue_latency.count;
+        queue.total_ns += m.queue_latency.total_ns;
+      }
+      r.q50 = queue.quantile_us(0.5);
+      r.q95 = queue.quantile_us(0.95);
+      const ModeResult& direct = results.front();
+      if (direct.traffic.ops > 0 && direct.traffic.seconds > 0.0 &&
+          r.traffic.seconds > 0.0) {
+        r.vs_direct = (static_cast<double>(r.traffic.ops) /
+                       r.traffic.seconds) /
+                      (static_cast<double>(direct.traffic.ops) /
+                       direct.traffic.seconds);
+      }
+      results.push_back(std::move(r));
+    }
+    }
+
     for (const ModeResult& r : results) {
       table.add_row(
           {r.mode, std::to_string(n_clients),
@@ -356,7 +477,9 @@ int main(int argc, char** argv) {
            r.fused_ratio > 0.0 ? Table::fmt(r.fused_ratio) : "-",
            Table::fmt(r.mean_width), std::to_string(r.max_width),
            Table::fmt(r.q50, 0), Table::fmt(r.q95, 0),
-           Table::fmt(r.d50, 0)});
+           Table::fmt(r.d50, 0),
+           r.has_stats ? std::to_string(r.shed) : "-",
+           r.has_stats ? std::to_string(r.expired) : "-"});
     }
   }
 

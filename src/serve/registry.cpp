@@ -1,9 +1,27 @@
 #include "serve/registry.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
+#include "util/fault_point.h"
+
 namespace spmv::serve {
+
+namespace {
+
+/// Tuning with the registry's fault points applied: injected planning
+/// latency (a slow background tune) and injected planning failure (which
+/// must propagate to the waiter and leave no half-registered entry —
+/// regression-tested in tests/test_fault_inject.cpp).
+TunedMatrix tuned_plan(const CsrMatrix& m, const TuningOptions& opt) {
+  SPMV_FAULT_DELAY("registry.tune_slow");
+  SPMV_FAULT_THROW("registry.tune_fail", std::runtime_error,
+                   "registry: injected tuning failure");
+  return TunedMatrix::plan(m, opt);
+}
+
+}  // namespace
 
 MatrixRegistry::EntryPtr MatrixRegistry::publish(std::string name,
                                                  TunedMatrix plan) {
@@ -18,7 +36,7 @@ MatrixRegistry::EntryPtr MatrixRegistry::put(const std::string& name,
                                              const TuningOptions& opt) {
   // Tune outside the lock: planning is the expensive part and must not
   // serialize lookups or other publishes.
-  return publish(name, TunedMatrix::plan(m, opt));
+  return publish(name, tuned_plan(m, opt));
 }
 
 std::shared_future<MatrixRegistry::EntryPtr> MatrixRegistry::put_async(
@@ -27,7 +45,10 @@ std::shared_future<MatrixRegistry::EntryPtr> MatrixRegistry::put_async(
       std::async(std::launch::async,
                  [this, name = std::move(name), m = std::move(m),
                   opt]() -> EntryPtr {
-                   return publish(name, TunedMatrix::plan(m, opt));
+                   // A plan() throw propagates through the shared_future
+                   // to every waiter; publish() is never reached, so no
+                   // placeholder or half-registered entry can exist.
+                   return publish(name, tuned_plan(m, opt));
                  })
           .share();
   MutexLock lock(mutex_);

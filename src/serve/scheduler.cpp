@@ -7,6 +7,7 @@
 
 #include "core/thread_pool.h"
 #include "engine/executor.h"
+#include "util/fault_point.h"
 
 namespace spmv::serve {
 
@@ -16,6 +17,8 @@ const char* to_string(ServeErrorCode code) {
     case ServeErrorCode::kInvalidOperand: return "invalid-operand";
     case ServeErrorCode::kQueueFull: return "queue-full";
     case ServeErrorCode::kShutdown: return "shutdown";
+    case ServeErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeErrorCode::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -28,10 +31,36 @@ std::future<void> failed_future(ServeErrorCode code, const std::string& what) {
   return p.get_future();
 }
 
+/// CancelToken state machine: kQueued -> kRequested (client cancel) or
+/// kQueued -> kClaimed (dispatcher, at batch finalization).  A deferred
+/// request's token moves back kClaimed -> kQueued, reopening the window.
+constexpr std::uint8_t kCancelQueued = 0;
+constexpr std::uint8_t kCancelRequested = 1;
+constexpr std::uint8_t kCancelClaimed = 2;
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// The scheduler whose dispatcher_loop is running on this thread, if
+/// any — the self-submit fail-fast guard (a dispatcher blocking on its
+/// own full queue would wait for itself to drain it).
+thread_local const Scheduler* tl_dispatcher_of = nullptr;
+
 }  // namespace
 
+bool CancelToken::cancel() {
+  if (state_ == nullptr) return false;
+  std::uint8_t expected = kCancelQueued;
+  // relaxed CAS: the token word IS the whole protocol — no payload is
+  // published through it, and the request's outcome travels through the
+  // promise/future machinery, which synchronizes on its own.  Winning
+  // the CAS only means the dispatcher's later claim-CAS will fail.
+  return state_->compare_exchange_strong(expected, kCancelRequested,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed);
+}
+
 Scheduler::Scheduler(MatrixRegistry& registry, SchedulerConfig config)
-    : registry_(registry), config_(config) {
+    : registry_(registry), config_(config), detector_(config.overload) {
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.dispatch_threads = std::max(1u, config_.dispatch_threads);
@@ -45,6 +74,28 @@ Scheduler::Scheduler(MatrixRegistry& registry, SchedulerConfig config)
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(per_shard));
   }
+  heartbeats_.reserve(config_.dispatch_threads);
+  for (unsigned t = 0; t < config_.dispatch_threads; ++t) {
+    heartbeats_.push_back(std::make_unique<Heartbeat>());
+  }
+  watchdog_ = std::make_unique<HealthWatchdog>(
+      [this] {
+        HealthProbe probe;
+        probe.heartbeats.reserve(heartbeats_.size());
+        for (const auto& hb : heartbeats_) {
+          // relaxed: a liveness counter — any recent value answers "has
+          // it moved since the last probe"; no data rides on it.
+          probe.heartbeats.push_back(
+              hb->beats.load(std::memory_order_relaxed));
+        }
+        // A frozen heartbeat only signals a stall when there is work the
+        // dispatcher should be making progress on; paused dispatchers
+        // are idle by design (acquire pairs with resume()'s release).
+        probe.work_pending = any_shard_nonempty() &&
+                             !paused_.load(std::memory_order_acquire);
+        return probe;
+      },
+      config_.watchdog_interval, config_.watchdog_stall_intervals);
   // relaxed: stored before the dispatcher threads exist; thread creation
   // synchronizes-with each thread's start, which publishes this.
   paused_.store(config_.start_paused, std::memory_order_relaxed);
@@ -66,12 +117,42 @@ std::future<void> Scheduler::submit(const std::string& name,
     return failed_future(ServeErrorCode::kUnknownMatrix,
                          "serve: no matrix registered as '" + name + "'");
   }
-  return submit(std::move(entry), x, y);
+  return do_submit(std::move(entry), x, y, SubmitOptions{}, nullptr);
 }
 
 std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
                                     std::span<const double> x,
                                     std::span<double> y) {
+  return do_submit(std::move(entry), x, y, SubmitOptions{}, nullptr);
+}
+
+SubmitHandle Scheduler::submit(const std::string& name,
+                               std::span<const double> x, std::span<double> y,
+                               const SubmitOptions& options) {
+  MatrixRegistry::EntryPtr entry = registry_.find(name);
+  if (entry == nullptr) {
+    stats_.record_unknown_matrix();
+    return SubmitHandle{
+        failed_future(ServeErrorCode::kUnknownMatrix,
+                      "serve: no matrix registered as '" + name + "'"),
+        CancelToken{}};
+  }
+  return submit(std::move(entry), x, y, options);
+}
+
+SubmitHandle Scheduler::submit(MatrixRegistry::EntryPtr entry,
+                               std::span<const double> x, std::span<double> y,
+                               const SubmitOptions& options) {
+  SubmitHandle handle;
+  handle.future = do_submit(std::move(entry), x, y, options, &handle.token);
+  return handle;
+}
+
+std::future<void> Scheduler::do_submit(MatrixRegistry::EntryPtr entry,
+                                       std::span<const double> x,
+                                       std::span<double> y,
+                                       const SubmitOptions& options,
+                                       CancelToken* token_out) {
   // Fail fast instead of deadlocking: a kBlock wait on an engine pool
   // worker parks the very thread the dispatcher needs to drain the queue.
   // Unconditional (not assert-only) — the deadlock it prevents would
@@ -81,6 +162,14 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
         "serve: Scheduler::submit called from an engine pool worker "
         "thread; submit must be called from client threads (a blocked "
         "submit here would deadlock the pool the dispatcher runs on)");
+  }
+  // Same shape, one layer up: a dispatcher submitting to its own
+  // scheduler can park on a full queue that only it can drain.
+  if (tl_dispatcher_of == this) {
+    throw std::logic_error(
+        "serve: Scheduler::submit called from one of this scheduler's own "
+        "dispatcher threads; a blocked submit here would deadlock the "
+        "dispatcher on the queue it is responsible for draining");
   }
   if (entry == nullptr) {
     return failed_future(ServeErrorCode::kUnknownMatrix,
@@ -100,6 +189,12 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   req.x = x.data();
   req.y = y.data();
   req.stats = std::move(cell);
+  req.deadline = options.deadline;
+  req.priority = options.priority;
+  if (token_out != nullptr) {
+    req.cancel = std::make_shared<std::atomic<std::uint8_t>>(kCancelQueued);
+    *token_out = CancelToken(req.cancel);
+  }
   // Stamped before any backpressure wait: queue latency is the client's
   // submit → dispatch-start time, including time parked on a full queue
   // (a histogram that hid backpressure would read healthy exactly when
@@ -108,10 +203,56 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   std::future<void> fut = req.promise.get_future();
 
   const auto reject = [&req](ServeErrorCode code, const char* what) {
+    if (req.cancel != nullptr) {
+      // Rejected at the door: the outcome is decided, so cancel() must
+      // report false from here on instead of promising a kCancelled
+      // resolution that never comes.  relaxed store: the caller's thread
+      // is still inside submit(), so nobody can race this token yet.
+      req.cancel->store(kCancelClaimed, std::memory_order_relaxed);
+    }
     req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
     req.promise.set_exception(
         std::make_exception_ptr(ServeError(code, what)));
   };
+
+  // Admission control.  Feed the overload detector a pre-push depth
+  // sample on every policy (health() stays meaningful for kBlock/kReject
+  // monitoring); only kShed acts on it.
+  std::size_t depth = 0;
+  std::size_t capacity = 0;
+  for (const auto& shard : shards_) {
+    depth += shard->ring.approx_size();
+    capacity += shard->ring.capacity();
+  }
+  const HealthState state = detector_.sample(depth, capacity);
+  // An already-expired request never executes, under any policy: fail at
+  // the door instead of making a dispatcher sweep it later.
+  if (req.deadline != kNoDeadline && req.enqueued >= req.deadline) {
+    plane_.requests_expired.fetch_add(1, std::memory_order_relaxed);
+    reject(ServeErrorCode::kDeadlineExceeded,
+           "serve: request deadline already passed at submit");
+    return fut;
+  }
+  if (config_.overflow == SchedulerConfig::OverflowPolicy::kShed &&
+      state == HealthState::kShedding) {
+    if (req.priority <= 0) {
+      plane_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      reject(ServeErrorCode::kQueueFull,
+             "serve: request shed (scheduler overloaded)");
+      return fut;
+    }
+    // High-priority requests ride through shedding — unless their own
+    // deadline is already hopeless given the observed queue latency.
+    const auto predicted =
+        req.enqueued +
+        std::chrono::microseconds(detector_.ewma_latency_us());
+    if (req.deadline != kNoDeadline && predicted >= req.deadline) {
+      plane_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      reject(ServeErrorCode::kDeadlineExceeded,
+             "serve: request shed (deadline unreachable under overload)");
+      return fut;
+    }
+  }
 
   // seq_cst RMW: the submit side of the Dekker handshake with shutdown().
   // The announcement must be globally ordered before the stopping_ check
@@ -120,6 +261,11 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   // its final ring sweep waits for our push.  No push can slip past both.
   submits_in_flight_.fetch_add(1, std::memory_order_seq_cst);
   bool enqueued = false;
+  // Simulated capacity exhaustion: the first push attempt reports full,
+  // exercising the reject/shed path (or one backpressure round under
+  // kBlock — only the first attempt, so a kBlock submitter still makes
+  // progress through real pushes and cannot park forever).
+  bool forced_full = SPMV_FAULT_POINT("scheduler.queue_full");
   // seq_cst: see the handshake above — must be ordered after the
   // announcement, or a concurrent shutdown() could miss this push.
   if (stopping_.load(std::memory_order_seq_cst)) {
@@ -127,11 +273,15 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
   } else {
     const std::size_t home = home_shard();
     for (;;) {
-      if (try_push_any(home, req)) {
+      if (!forced_full && try_push_any(home, req)) {
         enqueued = true;
         break;
       }
-      if (config_.overflow == SchedulerConfig::OverflowPolicy::kReject) {
+      forced_full = false;
+      if (config_.overflow != SchedulerConfig::OverflowPolicy::kBlock) {
+        if (config_.overflow == SchedulerConfig::OverflowPolicy::kShed) {
+          plane_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        }
         reject(ServeErrorCode::kQueueFull, "serve: request queue full");
         break;
       }
@@ -156,9 +306,11 @@ std::future<void> Scheduler::submit(MatrixRegistry::EntryPtr entry,
     }
   }
   if (enqueued) {
-    std::size_t depth = 0;
-    for (const auto& shard : shards_) depth += shard->ring.approx_size();
-    plane_.queue_depth.record(depth);
+    std::size_t post_depth = 0;
+    for (const auto& shard : shards_) {
+      post_depth += shard->ring.approx_size();
+    }
+    plane_.queue_depth.record(post_depth);
     // Wake at most one sleeping dispatcher; when all are busy this is a
     // single atomic load.
     work_ec_.notify_one();
@@ -243,9 +395,58 @@ void Scheduler::InflightTracker::release(const std::vector<Request>& batch) {
   }
 }
 
+bool Scheduler::resolve_if_dead(Request& req,
+                                std::chrono::steady_clock::time_point now,
+                                bool claim_token) {
+  const bool expired = req.deadline != kNoDeadline && now >= req.deadline;
+  bool cancelled = false;
+  if (req.cancel != nullptr) {
+    if (claim_token || expired) {
+      // Terminal either way — a dispatch claim, or an expiry about to
+      // resolve the future — so the token must close: a cancel() that
+      // arrives after this point has to report false, never "true" for
+      // a request that resolved kDeadlineExceeded.
+      std::uint8_t expected = kCancelQueued;
+      // relaxed CAS: the token word is the whole protocol (see
+      // CancelToken::cancel) — no payload rides on it; the promise
+      // machinery synchronizes the outcome.  Success closes the
+      // cancellation window for good (deferral reopens it explicitly);
+      // failure means a concurrent cancel() already owns the request —
+      // cancellation wins even when the deadline also passed.
+      cancelled = !req.cancel->compare_exchange_strong(
+          expected, kCancelClaimed, std::memory_order_relaxed,
+          std::memory_order_relaxed);
+    } else {
+      // relaxed peek: a cancel we miss here is caught by the claiming
+      // call at batch finalization, the last gate before dispatch.
+      cancelled =
+          req.cancel->load(std::memory_order_relaxed) == kCancelRequested;
+    }
+  }
+  if (cancelled) {
+    plane_.requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+    fail_request(req, ServeErrorCode::kCancelled,
+                 "serve: request cancelled before dispatch");
+    return true;
+  }
+  if (expired) {
+    plane_.requests_expired.fetch_add(1, std::memory_order_relaxed);
+    fail_request(req, ServeErrorCode::kDeadlineExceeded,
+                 "serve: request deadline exceeded before dispatch");
+    return true;
+  }
+  return false;
+}
+
 std::size_t Scheduler::pull_shard(std::size_t shard, std::size_t home,
                                   std::deque<Request>& pending,
                                   std::size_t target) {
+  // Simulated failed steal: the sibling's ring reports dry.  Checked
+  // before any pop so no request is ever dropped — the work stays queued
+  // for the next sweep (or its owner).
+  if (shard != home && SPMV_FAULT_POINT("scheduler.steal_skip")) {
+    return 0;
+  }
   std::size_t popped = 0;
   Request req;
   while (pending.size() < target && shards_[shard]->ring.try_pop(req)) {
@@ -279,11 +480,33 @@ std::vector<Scheduler::Request> Scheduler::build_batch(
   std::vector<Request> batch;
   std::vector<Request> deferred;
   batch.reserve(config_.max_batch);
+  // Sweep dead requests before keying a batch: an expired or cancelled
+  // request must never enter one, and a conflict-deferred request may
+  // have died while parked here across earlier passes.
+  {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (resolve_if_dead(*it, now, /*claim_token=*/false)) {
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   while (!pending.empty()) {
-    const MatrixRegistry::Entry* key = pending.front().entry.get();
+    // Key the batch on the highest-priority waiter — first among equals,
+    // so default-priority traffic keeps strict arrival order (identical
+    // to the old front()-keyed behavior when no priorities are set).
+    const auto key_it = std::max_element(
+        pending.begin(), pending.end(),
+        [](const Request& a, const Request& b) {
+          return a.priority < b.priority;
+        });
+    const MatrixRegistry::Entry* key = key_it->entry.get();
     // Extract up to max_batch same-entry requests with no intra-batch
-    // operand conflicts.  The front request always extracts, so each pass
-    // strictly shrinks `pending` and the loop terminates.
+    // operand conflicts.  The first key-entry request always extracts
+    // (no conflicts against an empty batch), so each pass strictly
+    // shrinks `pending` and the loop terminates.
     for (auto it = pending.begin();
          it != pending.end() && batch.size() < config_.max_batch;) {
       if (it->entry.get() == key && !conflicts_with(batch, *it)) {
@@ -305,11 +528,35 @@ std::vector<Scheduler::Request> Scheduler::build_batch(
         !stopping_.load(std::memory_order_acquire)) {
       linger_fill(key, home, batch, pending);
     }
+    // Batch finalization: the last, *claiming* dead-sweep.  Members can
+    // expire or be cancelled during the linger window; survivors have
+    // their cancel token CAS-claimed, so past this gate cancel() returns
+    // false and the request runs to completion (deferral below reopens
+    // the window).
+    {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = batch.begin(); it != batch.end();) {
+        if (resolve_if_dead(*it, now, /*claim_token=*/true)) {
+          it = batch.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     std::vector<Request> clashed = inflight_.claim(batch);
     if (!clashed.empty()) {
       plane_.conflict_deferrals.fetch_add(clashed.size(),
                                           std::memory_order_relaxed);
-      for (Request& r : clashed) deferred.push_back(std::move(r));
+      for (Request& r : clashed) {
+        if (r.cancel != nullptr) {
+          // Deferred, not dispatched: reopen the cancellation window the
+          // claim-CAS above closed.  relaxed store: we exclusively own
+          // the kCancelClaimed state (cancel() cannot move it), and no
+          // payload rides on the word.
+          r.cancel->store(kCancelQueued, std::memory_order_relaxed);
+        }
+        deferred.push_back(std::move(r));
+      }
     }
     if (!batch.empty()) break;
     // The whole candidate batch is parked behind another dispatcher's
@@ -328,8 +575,13 @@ void Scheduler::linger_fill(const MatrixRegistry::Entry* key,
                             std::deque<Request>& pending) {
   if (config_.max_linger.count() == 0 || batch.empty()) return;
   // Deadline anchored to the oldest request's enqueue time, so a request
-  // never waits more than max_linger total no matter how its batch forms.
-  const auto deadline = batch.front().enqueued + config_.max_linger;
+  // never waits more than max_linger total no matter how its batch forms
+  // — and capped by the earliest member request-deadline, so lingering
+  // never expires work it was trying to widen.
+  auto deadline = batch.front().enqueued + config_.max_linger;
+  for (const Request& r : batch) {
+    deadline = std::min(deadline, r.deadline);
+  }
   // acquire: as in build_batch — shutdown wake-up is handled by the
   // eventcount handshake; this check just exits promptly.
   while (batch.size() < config_.max_batch && pending.empty() &&
@@ -347,6 +599,10 @@ void Scheduler::linger_fill(const MatrixRegistry::Entry* key,
         if (s != home) {
           req.stolen = true;
           plane_.steal_requests.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (resolve_if_dead(req, std::chrono::steady_clock::now(),
+                            /*claim_token=*/false)) {
+          continue;  // resolved; its ring slot is freed either way
         }
         if (req.entry.get() == key && !conflicts_with(batch, req)) {
           batch.push_back(std::move(req));
@@ -389,6 +645,10 @@ void Scheduler::fail_request(Request& req, ServeErrorCode code,
 }
 
 void Scheduler::execute_batch(std::vector<Request> batch) {
+  // Simulated slow dispatch: injected latency (and an optional handler
+  // running ON the dispatcher thread — how the self-submit fail-fast
+  // guard is exercised) before the batch timer starts.
+  SPMV_FAULT_DELAY("scheduler.slow_dispatch");
   const auto start = std::chrono::steady_clock::now();
   std::vector<const double*> xs;
   std::vector<double*> ys;
@@ -399,10 +659,14 @@ void Scheduler::execute_batch(std::vector<Request> batch) {
     xs.push_back(r.x);
     ys.push_back(r.y);
     has_stolen = has_stolen || r.stolen;
+    const auto waited = start - r.enqueued;
     r.stats->queue_latency.record_ns(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(start -
-                                                             r.enqueued)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
             .count()));
+    // Feed the observed queue latency into the overload detector's EWMA
+    // (the deadline-aware shed predictor under kShed).
+    detector_.record_latency(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited));
   }
   plane_.batch_width.record(batch.size());
   if (has_stolen) {
@@ -443,21 +707,32 @@ void Scheduler::execute_batch(std::vector<Request> batch) {
 }
 
 void Scheduler::dispatcher_loop(unsigned tid) {
+  // The self-submit fail-fast guard keys on this (see do_submit).
+  tl_dispatcher_of = this;
   const std::size_t home = tid % shards_.size();
   // Requests this dispatcher has popped but not yet dispatched: stolen
   // overflow beyond one batch, and conflict-deferred requests waiting out
   // another dispatcher's in-flight batch.
   std::deque<Request> pending;
   for (;;) {
+    // relaxed: a liveness counter for the watchdog — "has it moved since
+    // the last probe" needs no ordering with the work it witnesses.
+    heartbeats_[tid]->beats.fetch_add(1, std::memory_order_relaxed);
     // acquire: makes discard_'s relaxed store visible once stopping_
     // reads true (discard_ is stored before stopping_'s release).
     const bool stopping = stopping_.load(std::memory_order_acquire);
     if (stopping && discard_.load(std::memory_order_relaxed)) {
       // relaxed ok above: ordered by the acquire on stopping_.
+      const auto now = std::chrono::steady_clock::now();
       for (Request& r : pending) {
-        fail_request(r, ServeErrorCode::kShutdown,
-                     "serve: scheduler shut down before the request was "
-                     "dispatched");
+        // Dead requests keep their specific verdict even in a discard
+        // teardown; everything else resolves kShutdown.  Claiming: this
+        // resolution is final, so a racing cancel() must lose.
+        if (!resolve_if_dead(r, now, /*claim_token=*/true)) {
+          fail_request(r, ServeErrorCode::kShutdown,
+                       "serve: scheduler shut down before the request was "
+                       "dispatched");
+        }
       }
       pending.clear();
       return;  // shutdown() sweeps what's left in the rings
@@ -569,6 +844,15 @@ void Scheduler::shutdown(Drain mode) {
   for (const auto& shard : shards_) {
     Request req;
     while (shard->ring.try_pop(req)) {
+      // Expired/cancelled requests resolve with their specific verdict in
+      // BOTH modes: kDrain must not execute work past its deadline, and
+      // kDiscard owes the caller the more precise error it already
+      // earned.  Claiming: whatever happens next (inline execution or
+      // kShutdown) is final, so a racing cancel() must lose.
+      if (resolve_if_dead(req, std::chrono::steady_clock::now(),
+                          /*claim_token=*/true)) {
+        continue;
+      }
       if (discard) {
         fail_request(req, ServeErrorCode::kShutdown,
                      "serve: scheduler shut down before the request was "
@@ -580,6 +864,8 @@ void Scheduler::shutdown(Drain mode) {
       }
     }
   }
+  // The plane is quiesced; stop probing it.
+  watchdog_->stop();
 }
 
 ServeStatsSnapshot Scheduler::stats() const {
@@ -594,6 +880,20 @@ ServeStatsSnapshot Scheduler::stats() const {
       plane_.conflict_deferrals.load(std::memory_order_relaxed);
   out.data_plane.dispatcher_sleeps =
       plane_.dispatcher_sleeps.load(std::memory_order_relaxed);
+  out.data_plane.requests_shed =
+      plane_.requests_shed.load(std::memory_order_relaxed);
+  out.data_plane.requests_expired =
+      plane_.requests_expired.load(std::memory_order_relaxed);
+  out.data_plane.requests_cancelled =
+      plane_.requests_cancelled.load(std::memory_order_relaxed);
+  out.data_plane.health_state = detector_.state();
+  out.data_plane.overload_transitions = detector_.transitions();
+  out.data_plane.ewma_queue_latency_us = detector_.ewma_latency_us();
+  out.data_plane.stalled_dispatchers = watchdog_->stalled_dispatchers();
+  out.data_plane.stall_events = watchdog_->stall_events();
+#if defined(SPMV_FAULT_INJECTION)
+  out.data_plane.faults_fired = FaultInjector::instance().total_fired();
+#endif
   out.data_plane.batch_width = plane_.batch_width.snapshot();
   out.data_plane.queue_depth = plane_.queue_depth.snapshot();
   return out;

@@ -45,6 +45,22 @@
 // Executor::multiply on the same plan (the engine's batch path guarantees
 // per-rhs equality, and coalescing never reorders a single request's
 // accumulation).
+//
+// Request lifecycle (PR 8): a request may carry a *deadline* and a
+// *priority* (SubmitOptions) and hand back a CancelToken alongside its
+// future.  Expired or cancelled requests are swept out of the rings and
+// out of forming batches before dispatch — they never reach
+// Executor::multiply_batch — and resolve kDeadlineExceeded / kCancelled.
+// A third overflow policy, kShed, rejects load the queue cannot serve in
+// time: an OverloadDetector (serve/health.h) watches queue depth with
+// hysteresis and an EWMA of queue latency, and while it reports
+// kShedding, new priority<=0 submits shed immediately (kQueueFull) and
+// deadline-carrying submits whose deadline the EWMA already overruns
+// shed with kDeadlineExceeded.  A HealthWatchdog probes per-dispatcher
+// heartbeat counters to flag stalled dispatchers.  Every path is
+// observable (shed/expired/cancelled counters in DataPlaneStats) and
+// testable under the seeded fault points (util/fault_point.h):
+// scheduler.queue_full, scheduler.slow_dispatch, scheduler.steal_skip.
 #pragma once
 
 #include <atomic>
@@ -59,6 +75,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/health.h"
 #include "serve/registry.h"
 #include "serve/serve_stats.h"
 #include "util/eventcount.h"
@@ -71,8 +88,10 @@ namespace spmv::serve {
 enum class ServeErrorCode {
   kUnknownMatrix,   ///< submit() name not in the registry
   kInvalidOperand,  ///< short/aliasing x|y (same checks as Executor)
-  kQueueFull,       ///< bounded queue full under OverflowPolicy::kReject
+  kQueueFull,       ///< queue full under kReject, or shed under kShed
   kShutdown,        ///< scheduler stopped before the request could run
+  kDeadlineExceeded,  ///< deadline passed (or predicted to) pre-dispatch
+  kCancelled,       ///< CancelToken::cancel() won the race to dispatch
 };
 
 const char* to_string(ServeErrorCode code);
@@ -106,7 +125,15 @@ struct SchedulerConfig {
   /// overflows onto siblings before blocking or rejecting, so the full
   /// capacity is reachable from any thread.
   std::size_t queue_capacity = 4096;
-  enum class OverflowPolicy : std::uint8_t { kBlock, kReject };
+  /// kBlock: park the submitter until a slot frees (backpressure).
+  /// kReject: fail fast with kQueueFull.
+  /// kShed: admission-controlled reject — a full queue still fails
+  /// kQueueFull, but additionally, while the OverloadDetector reports
+  /// kShedding, priority<=0 submits shed immediately and submits whose
+  /// deadline the latency EWMA already overruns shed kDeadlineExceeded
+  /// (they would expire in the queue; shedding them at the door keeps
+  /// the queue serving requests that can still make their deadlines).
+  enum class OverflowPolicy : std::uint8_t { kBlock, kReject, kShed };
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Dispatcher threads draining the shards.  More than one lets batches
   /// for different matrices execute concurrently (they still serialize on
@@ -120,6 +147,63 @@ struct SchedulerConfig {
   /// warm-up code) enqueue a known set of requests and observe exactly how
   /// they coalesce.
   bool start_paused = false;
+  /// Hysteresis thresholds for the overload detector feeding kShed
+  /// admission and the health() state.
+  OverloadConfig overload{};
+  /// Probe period of the stalled-dispatcher watchdog.  0 (default)
+  /// starts no watchdog thread; tests drive Scheduler::watchdog().tick()
+  /// directly for deterministic probe timing.
+  std::chrono::milliseconds watchdog_interval{0};
+  /// Consecutive frozen-heartbeat probes (with work pending) before a
+  /// dispatcher is declared stalled.
+  std::uint32_t watchdog_stall_intervals = 3;
+};
+
+/// Per-request submit options.  The defaults reproduce the plain
+/// submit(): no deadline, priority 0.
+struct SubmitOptions {
+  /// Absolute deadline.  A request that has not *started dispatching* by
+  /// this instant resolves kDeadlineExceeded instead of executing; an
+  /// already-expired submit fails at the door.  time_point::max() (the
+  /// default) means no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Shedding priority: while the overload detector reports kShedding
+  /// under OverflowPolicy::kShed, submits with priority <= 0 are shed.
+  /// Higher priority also wins batch keying when requests for several
+  /// matrices are pending.  No effect under kBlock/kReject.
+  int priority = 0;
+};
+
+/// Handle to cancel one submitted request before it dispatches.  Cheap to
+/// copy (one shared_ptr); thread-safe.  Default-constructed tokens are
+/// empty and cancel() on them returns false.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Request cancellation.  True: the request had not been claimed for
+  /// dispatch — it will never execute and its future resolves
+  /// kCancelled.  False: too late (dispatch claimed it, admission
+  /// already rejected it, or an expiry sweep already resolved it
+  /// kDeadlineExceeded — the future resolves with that outcome) or the
+  /// token is empty.  Idempotent; at most one call returns true.
+  bool cancel();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Scheduler;
+  explicit CancelToken(std::shared_ptr<std::atomic<std::uint8_t>> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<std::atomic<std::uint8_t>> state_;
+};
+
+/// What an options-carrying submit() hands back: the result future plus
+/// the cancellation handle for that request.
+struct SubmitHandle {
+  std::future<void> future;
+  CancelToken token;
 };
 
 class Scheduler {
@@ -150,6 +234,16 @@ class Scheduler {
   std::future<void> submit(MatrixRegistry::EntryPtr entry,
                            std::span<const double> x, std::span<double> y);
 
+  /// submit() with a deadline/priority and a CancelToken for the request.
+  /// All the plain-submit guarantees hold, plus: the request never
+  /// executes after its deadline or a successful cancel — it resolves
+  /// kDeadlineExceeded / kCancelled instead, exactly once.
+  SubmitHandle submit(const std::string& name, std::span<const double> x,
+                      std::span<double> y, const SubmitOptions& options);
+  SubmitHandle submit(MatrixRegistry::EntryPtr entry,
+                      std::span<const double> x, std::span<double> y,
+                      const SubmitOptions& options);
+
   /// Begin dispatching when constructed with start_paused.  Idempotent.
   void resume();
 
@@ -165,6 +259,17 @@ class Scheduler {
   [[nodiscard]] ServeStatsSnapshot stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
+  /// Current admission-control state (kOk/kOverloaded/kShedding).
+  [[nodiscard]] HealthState health() const { return detector_.state(); }
+  [[nodiscard]] const OverloadDetector& overload_detector() const {
+    return detector_;
+  }
+  /// The stalled-dispatcher watchdog.  Always constructed; it only runs
+  /// a thread when config().watchdog_interval > 0 — with interval 0,
+  /// call watchdog().tick() to probe on demand.
+  [[nodiscard]] HealthWatchdog& watchdog() { return *watchdog_; }
+  [[nodiscard]] const HealthWatchdog& watchdog() const { return *watchdog_; }
+
  private:
   struct Request {
     MatrixRegistry::EntryPtr entry;
@@ -173,6 +278,14 @@ class Scheduler {
     std::promise<void> promise;
     std::shared_ptr<MatrixServeStats> stats;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline;
+    int priority = 0;
+    /// Cancellation state shared with the client's CancelToken (null for
+    /// plain submits — no allocation unless a token was asked for).
+    /// kCancelQueued -> kCancelRequested (CancelToken::cancel) or
+    /// -> kCancelClaimed (dispatcher, just before operand claim).
+    std::shared_ptr<std::atomic<std::uint8_t>> cancel;
     bool stolen = false;  ///< popped from a shard its dispatcher doesn't own
   };
 
@@ -205,6 +318,24 @@ class Scheduler {
     FlatCountMap<const double*> ys_ SPMV_GUARDED_BY(mutex_);
   };
 
+  /// Shared body of all four submit() overloads.  `token_out` non-null
+  /// allocates and returns a cancellation token for the request.
+  std::future<void> do_submit(MatrixRegistry::EntryPtr entry,
+                              std::span<const double> x, std::span<double> y,
+                              const SubmitOptions& options,
+                              CancelToken* token_out);
+  /// Resolve `req` if it is past its deadline or cancel-requested at
+  /// `now` (kDeadlineExceeded / kCancelled) and report that it was.
+  /// Every pre-dispatch sweep — pull, linger, batch finalization,
+  /// shutdown — funnels through this, so a dead request never reaches
+  /// Executor::multiply_batch and resolves exactly once.  With
+  /// `claim_token` the check is final: the cancel token is CAS-claimed,
+  /// so when this returns false the request is committed to resolve with
+  /// its execution (or teardown) outcome and cancel() returns false from
+  /// here on.  Peeking sweeps pass false, keeping parked requests
+  /// cancellable.
+  bool resolve_if_dead(Request& req, std::chrono::steady_clock::time_point now,
+                       bool claim_token);
   void dispatcher_loop(unsigned tid);
   /// Push `req` onto the home shard, overflowing onto siblings when the
   /// home ring is full; `req` is untouched when every ring is full.
@@ -244,12 +375,21 @@ class Scheduler {
   [[nodiscard]] std::size_t home_shard() const;
   [[nodiscard]] bool any_shard_nonempty() const;
 
+  /// Per-dispatcher liveness counter, bumped once per loop iteration and
+  /// read by the watchdog probe.  Padded: heartbeats are written hot by
+  /// their dispatcher and must not false-share with a neighbor's.
+  struct alignas(kCacheLineSize) Heartbeat {
+    std::atomic<std::uint64_t> beats{0};
+  };
+
   MatrixRegistry& registry_;
   SchedulerConfig config_;
   ServeStats stats_;
   DataPlaneStats plane_;
+  OverloadDetector detector_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
   EventCount work_ec_;   ///< dispatchers sleep here; submit/retire notify
   EventCount space_ec_;  ///< kBlock submitters sleep here; pops notify
   InflightTracker inflight_;
@@ -272,6 +412,10 @@ class Scheduler {
   Mutex join_mutex_;
   std::vector<std::thread> dispatchers_ SPMV_GUARDED_BY(join_mutex_);
   bool joined_ SPMV_GUARDED_BY(join_mutex_) = false;
+
+  /// Declared last: destroyed first, so the probe thread (which reads
+  /// heartbeats_ and the shards) is joined before anything it touches.
+  std::unique_ptr<HealthWatchdog> watchdog_;
 };
 
 }  // namespace spmv::serve

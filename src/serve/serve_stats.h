@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/health.h"
 #include "util/thread_annotations.h"
 
 namespace spmv::serve {
@@ -95,6 +96,14 @@ struct DataPlaneStats {
   std::atomic<std::uint64_t> conflict_deferrals{0};
   /// Times a dispatcher committed to sleep on the work eventcount.
   std::atomic<std::uint64_t> dispatcher_sleeps{0};
+  /// Requests rejected by kShed admission control (overload shedding or a
+  /// deadline the latency EWMA already overran).
+  std::atomic<std::uint64_t> requests_shed{0};
+  /// Requests resolved kDeadlineExceeded without executing (at the door
+  /// or swept out of a shard/batch pre-dispatch).
+  std::atomic<std::uint64_t> requests_expired{0};
+  /// Requests resolved kCancelled via their CancelToken pre-dispatch.
+  std::atomic<std::uint64_t> requests_cancelled{0};
   CountHistogram batch_width;  ///< width of every dispatched batch
   CountHistogram queue_depth;  ///< total queued depth sampled at submit
 };
@@ -107,6 +116,18 @@ struct DataPlaneSnapshot {
   std::uint64_t steal_batches = 0;
   std::uint64_t conflict_deferrals = 0;
   std::uint64_t dispatcher_sleeps = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_expired = 0;
+  std::uint64_t requests_cancelled = 0;
+  /// Overload detector (serve/health.h) at snapshot time.
+  HealthState health_state = HealthState::kOk;
+  std::uint64_t overload_transitions = 0;
+  std::uint64_t ewma_queue_latency_us = 0;
+  /// Stalled-dispatcher watchdog at snapshot time.
+  std::uint64_t stalled_dispatchers = 0;
+  std::uint64_t stall_events = 0;
+  /// Total fault-point fires (0 unless built -DSPMV_FAULT_INJECTION=ON).
+  std::uint64_t faults_fired = 0;
   CountHistogram::Snapshot batch_width;
   CountHistogram::Snapshot queue_depth;
 };

@@ -39,6 +39,7 @@
 #include <condition_variable>
 #include <cstdint>
 
+#include "util/fault_point.h"
 #include "util/thread_annotations.h"
 
 namespace spmv {
@@ -74,6 +75,14 @@ class EventCount {
   /// Sleep until a notify arrives after the ticket was issued.  Returns
   /// immediately when one already has.
   void commit_wait(std::uint64_t ticket) SPMV_EXCLUDES(mutex_) {
+    // Injected spurious wake: return before sleeping, exactly as a
+    // condvar may.  cancel_wait() keeps the waiter-count invariant (the
+    // prepare_wait announcement is undone), so every caller's
+    // re-check-and-retry loop is exercised without corrupting state.
+    if (SPMV_FAULT_POINT("eventcount.spurious_wake")) {
+      cancel_wait();
+      return;
+    }
     MutexLock lock(mutex_);
     // relaxed: the epoch bump we are watching for is published under
     // mutex_, which we hold — the lock provides the ordering; the atomic
@@ -93,6 +102,12 @@ class EventCount {
       std::uint64_t ticket,
       const std::chrono::time_point<Clock, Duration>& deadline)
       SPMV_EXCLUDES(mutex_) {
+    // Injected spurious wake — see commit_wait.  Reports no_timeout, as
+    // a real spurious wake would.
+    if (SPMV_FAULT_POINT("eventcount.spurious_wake")) {
+      cancel_wait();
+      return std::cv_status::no_timeout;
+    }
     std::cv_status status = std::cv_status::no_timeout;
     MutexLock lock(mutex_);
     // relaxed: epoch is published under mutex_, held here (see

@@ -1,0 +1,175 @@
+#include "util/fault_point.h"
+
+#if defined(SPMV_FAULT_INJECTION)
+
+#include <limits>
+
+namespace spmv {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix, the same one Prng
+/// uses for seed expansion.  Pure — the heart of the deterministic
+/// schedule.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a, for stable name -> token hashing (std::hash is not specified
+/// to be stable across implementations; the schedule should be).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::Point::Point(std::string name_)
+    : name(std::move(name_)), token(fnv1a(name)) {}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::uint64_t seed) {
+  {
+    MutexLock lock(mutex_);
+    for (auto& [name, p] : points_) {
+      // relaxed stores: the system under test is quiescent during arm()
+      // (contract in the header); publication to later fire() calls is
+      // carried by the armed_ release store below.
+      p.hits.store(0, std::memory_order_relaxed);
+      p.fired.store(0, std::memory_order_relaxed);
+      p.threshold.store(0, std::memory_order_relaxed);
+      p.delay_us.store(0, std::memory_order_relaxed);
+      MutexLock hlock(p.handler_mutex);
+      p.handler = nullptr;
+    }
+  }
+  // relaxed: ordered before fire() readers by the armed_ release below.
+  seed_.store(seed, std::memory_order_relaxed);
+  // release: publishes the seed and the point resets above to any thread
+  // whose armed() acquire-load observes true.
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  // release: matches armed()'s acquire for symmetry with arm(); nothing
+  // is published on this edge, but seq of arm/disarm stays well ordered.
+  armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::set_rate(std::string_view pt, double rate) {
+  // release: pairs with fire()'s acquire threshold load so a fire that
+  // sees the new rate also sees anything the test set up before it.
+  point(pt).threshold.store(rate_to_threshold(rate),
+                            std::memory_order_release);
+}
+
+void FaultInjector::set_delay(std::string_view pt,
+                              std::chrono::microseconds delay) {
+  // relaxed: the delay magnitude carries no dependent data; a stale read
+  // only means one fire sleeps the old duration.
+  point(pt).delay_us.store(static_cast<std::uint64_t>(delay.count()),
+                           std::memory_order_relaxed);
+}
+
+void FaultInjector::set_handler(std::string_view pt,
+                                std::function<void()> handler) {
+  Point& p = point(pt);
+  MutexLock lock(p.handler_mutex);
+  p.handler = std::move(handler);
+}
+
+FaultInjector::Point& FaultInjector::point(std::string_view name) {
+  MutexLock lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.try_emplace(std::string(name), std::string(name)).first;
+  }
+  return it->second;
+}
+
+bool FaultInjector::fire(Point& p) {
+  // acquire: a nonzero threshold observed here also shows the arming
+  // test's prior setup (pairs with set_rate's release store).
+  const std::uint64_t threshold = p.threshold.load(std::memory_order_acquire);
+  // relaxed RMW: allocates this hit's index; the decision below is a pure
+  // function of it, so no cross-thread ordering is required — any
+  // interleaving yields the same per-point fire/no-fire sequence.
+  const std::uint64_t hit = p.hits.fetch_add(1, std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  // relaxed: published by arm() before the armed_ release the caller
+  // already acquired.
+  const std::uint64_t seed = seed_.load(std::memory_order_relaxed);
+  if (!would_fire(seed, p.token, hit, threshold)) return false;
+
+  // relaxed: statistics only; readers snapshot after quiescing.
+  p.fired.fetch_add(1, std::memory_order_relaxed);
+
+  // relaxed: magnitude only (see set_delay).
+  const std::uint64_t delay_us = p.delay_us.load(std::memory_order_relaxed);
+  if (delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+
+  std::function<void()> handler;
+  {
+    MutexLock lock(p.handler_mutex);
+    handler = p.handler;
+  }
+  if (handler) handler();
+  return true;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view pt) {
+  // relaxed: statistics snapshot (see fire()).
+  return point(pt).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(std::string_view pt) {
+  // relaxed: statistics snapshot (see fire()).
+  return point(pt).fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_fired() {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (auto& [name, p] : points_) {
+    // relaxed: statistics snapshot (see fire()).
+    total += p.fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool FaultInjector::would_fire(std::uint64_t seed, std::uint64_t token,
+                               std::uint64_t hit, std::uint64_t threshold) {
+  if (threshold == 0) return false;
+  const std::uint64_t draw = mix64(seed ^ mix64(token ^ mix64(hit)));
+  return draw < threshold;
+}
+
+std::uint64_t FaultInjector::rate_to_threshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return std::numeric_limits<std::uint64_t>::max();
+  // rate < 1.0 strictly, so rate * 2^64 < 2^64 and the cast is exact
+  // enough: the largest double below 1.0 maps just under UINT64_MAX.
+  return static_cast<std::uint64_t>(rate * 0x1.0p64);
+}
+
+std::uint64_t FaultInjector::token_of(std::string_view name) {
+  return fnv1a(name);
+}
+
+}  // namespace spmv
+
+#endif  // SPMV_FAULT_INJECTION

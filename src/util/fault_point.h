@@ -1,0 +1,184 @@
+// Deterministic, seeded fault injection for the serving plane.
+//
+// Robustness code is the code that runs least: the deadline sweep, the
+// shed path, the tuning-failure propagation, the eventcount re-check
+// loops.  This header plants *named fault points* at those sites so a
+// test can force them to fire on a reproducible schedule:
+//
+//   if (SPMV_FAULT_POINT("scheduler.queue_full")) { /* behave as full */ }
+//   SPMV_FAULT_DELAY("scheduler.slow_dispatch");   // injected latency
+//   SPMV_FAULT_THROW("registry.tune_fail", std::runtime_error, "...");
+//
+// The whole framework compiles OUT unless the build defines
+// SPMV_FAULT_INJECTION (cmake -DSPMV_FAULT_INJECTION=ON): every macro
+// collapses to `false` / nothing, so production binaries carry zero
+// cost, zero branches, zero symbols from this file.
+//
+// Determinism is the point.  Whether hit k of point p fires is the pure
+// function would_fire(seed, token(p), k, rate(p)) — a SplitMix64 hash of
+// (seed, point, hit index) compared against the point's rate.  Per-point
+// hit indices are allocated by one atomic counter, so for a fixed
+// workload the *schedule* (the fire/no-fire sequence each point sees) is
+// identical across runs with the same seed: rerunning a failing seed
+// reproduces exactly the same faults at exactly the same hits.  Thread
+// interleavings can change which request experiences hit k, but never
+// whether hit k fires — single-threaded (or paused-scheduler) workloads
+// are therefore bit-reproducible end to end.
+//
+// A fired point can, independently:
+//   * report true to the guarding `if` (the caller simulates the fault),
+//   * sleep a configured delay (injected latency),
+//   * run a configured handler (arbitrary behavior at the site — e.g.
+//     call into the scheduler from a dispatcher thread to prove the
+//     fail-fast guard).
+//
+// This header is on lint_concurrency.py's lock-free audit list: every
+// atomic operation states its memory_order and argues it in an adjacent
+// comment.
+#pragma once
+
+#if defined(SPMV_FAULT_INJECTION)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace spmv {
+
+/// Process-wide registry of named fault points.  Disarmed by default:
+/// every point reports "no fault" until arm(seed) ran and a nonzero rate
+/// was configured for it.  Tests arm, configure, run, snapshot, disarm.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// One named point's mutable state.  Registered on first use and never
+  /// removed (stable addresses — the fire path holds no lock).
+  struct Point {
+    explicit Point(std::string name_);
+
+    const std::string name;
+    const std::uint64_t token;  ///< hash of the name, mixed into the seed
+    /// Hit index allocator: hit k of this point maps to one deterministic
+    /// fire/no-fire decision for the armed seed.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+    /// Fire probability as a 64-bit threshold (rate * 2^64-ish); 0 = off.
+    std::atomic<std::uint64_t> threshold{0};
+    /// Injected latency per fire, microseconds.
+    std::atomic<std::uint64_t> delay_us{0};
+    Mutex handler_mutex;
+    /// Optional behavior to run at the site when the point fires.
+    std::function<void()> handler SPMV_GUARDED_BY(handler_mutex);
+  };
+
+  /// Enable fault evaluation under `seed` and reset every point's hit,
+  /// fired, rate, delay, and handler state, so two arm(s)+workload runs
+  /// see identical schedules.  Not thread-safe against in-flight fire()
+  /// evaluation — arm/disarm from the test harness only, with the system
+  /// under test quiescent.
+  void arm(std::uint64_t seed);
+
+  /// Stop firing (points return false immediately).  Configuration and
+  /// counters stay readable until the next arm().
+  void disarm();
+
+  [[nodiscard]] bool armed() const {
+    // acquire: pairs with arm()'s release store so a fire() that sees
+    // armed == true also sees the seed and the reset point state
+    // published before it.
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Fire probability of `point` in [0, 1].  1.0 fires every hit.
+  void set_rate(std::string_view point, double rate);
+  /// Latency injected on each fire of `point`.
+  void set_delay(std::string_view point, std::chrono::microseconds delay);
+  /// Arbitrary behavior run at the site on each fire of `point` (after
+  /// the delay).  The handler runs on the faulting thread — e.g. a
+  /// dispatcher — which is exactly what makes it useful.
+  void set_handler(std::string_view point, std::function<void()> handler);
+
+  /// The point registered as `name` (creating it on first use).  The
+  /// returned reference is stable for the process lifetime.
+  Point& point(std::string_view name) SPMV_EXCLUDES(mutex_);
+
+  /// Evaluate one hit of `p`: allocate the hit index, decide from the
+  /// armed seed, and on fire bump counters, sleep the delay, and run the
+  /// handler.  Returns whether the caller should simulate the fault.
+  bool fire(Point& p);
+
+  [[nodiscard]] std::uint64_t hits(std::string_view point);
+  [[nodiscard]] std::uint64_t fired(std::string_view point);
+  [[nodiscard]] std::uint64_t total_fired() SPMV_EXCLUDES(mutex_);
+
+  /// The pure decision function: would hit `hit` of a point with token
+  /// `token` fire under `seed` at `threshold`?  Exposed so tests can
+  /// check the observed schedule against the a-priori one.
+  [[nodiscard]] static bool would_fire(std::uint64_t seed,
+                                       std::uint64_t token, std::uint64_t hit,
+                                       std::uint64_t threshold);
+
+  /// rate in [0,1] -> comparison threshold for would_fire.
+  [[nodiscard]] static std::uint64_t rate_to_threshold(double rate);
+  /// The token point `name` would get (for would_fire cross-checks).
+  [[nodiscard]] static std::uint64_t token_of(std::string_view name);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> seed_{0};
+
+  mutable Mutex mutex_;
+  /// Keyed by name; values are stable heap nodes (fire() caches the
+  /// reference in a function-local static at each site).
+  std::map<std::string, Point, std::less<>> points_ SPMV_GUARDED_BY(mutex_);
+};
+
+}  // namespace spmv
+
+/// True when the named fault point fires this hit.  The static caches
+/// the registry lookup so the steady-state cost is one atomic load (the
+/// armed check) plus one fetch_add when armed.
+#define SPMV_FAULT_POINT(name_literal)                             \
+  ([]() -> bool {                                                  \
+    static ::spmv::FaultInjector::Point& spmv_fault_point_state =  \
+        ::spmv::FaultInjector::instance().point(name_literal);     \
+    return ::spmv::FaultInjector::instance().armed() &&            \
+           ::spmv::FaultInjector::instance().fire(                 \
+               spmv_fault_point_state);                            \
+  }())
+
+/// Fire-and-forget flavors for sites that only want the side effects.
+#define SPMV_FAULT_DELAY(name_literal) \
+  do {                                 \
+    (void)SPMV_FAULT_POINT(name_literal); \
+  } while (0)
+
+#define SPMV_FAULT_THROW(name_literal, extype, msg) \
+  do {                                              \
+    if (SPMV_FAULT_POINT(name_literal)) {           \
+      throw extype(msg);                            \
+    }                                               \
+  } while (0)
+
+#else  // !SPMV_FAULT_INJECTION — everything compiles out.
+
+#define SPMV_FAULT_POINT(name_literal) false
+#define SPMV_FAULT_DELAY(name_literal) \
+  do {                                 \
+  } while (0)
+#define SPMV_FAULT_THROW(name_literal, extype, msg) \
+  do {                                              \
+  } while (0)
+
+#endif  // SPMV_FAULT_INJECTION

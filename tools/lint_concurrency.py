@@ -48,6 +48,8 @@ THREAD_FILES = WRAPPER_FILES | {
     "src/core/thread_pool.cpp",
     "src/serve/scheduler.h",   # dispatcher threads, joined in shutdown()
     "src/serve/scheduler.cpp",
+    "src/serve/health.h",      # watchdog probe thread, joined in stop()
+    "src/serve/health.cpp",
 }
 
 # Lock-free algorithm files: every atomic operation (any order) must argue
@@ -55,6 +57,14 @@ THREAD_FILES = WRAPPER_FILES | {
 LOCKFREE_FILES = {
     "src/util/mpmc_queue.h",
     "src/util/eventcount.h",
+    # Fault points decide deterministically from lock-free per-point state
+    # (hit counters, thresholds) on hot paths; the orders ARE the contract.
+    "src/util/fault_point.h",
+    "src/util/fault_point.cpp",
+    # Overload detector (packed state word CAS, EWMA CAS) and watchdog
+    # counters: sampled from the submit fast path, mutated lock-free.
+    "src/serve/health.h",
+    "src/serve/health.cpp",
 }
 
 RAW_PRIMITIVES = re.compile(
