@@ -1,0 +1,196 @@
+// Network front-end throughput: the wire + session + scheduler stack on
+// a loopback socket, full-vector vs delta-encoded operands.
+//
+// A server is started on an ephemeral loopback port; N client threads run
+// an iterative-solver style workload against one banded suite-scale
+// matrix: each step multiplies, then perturbs ~1% of the operand (the
+// churn the delta encoding targets).  Two operand modes per client count:
+//
+//   full    every operand ships dense (DeltaMode::kAlwaysFull) — the
+//           protocol floor;
+//   delta   the client's auto crossover (cached / delta / full per
+//           operand) — steady state ships ~1% of the bytes.
+//
+// closed loop: one request outstanding per client (RPC latency is the
+// p50/p99 that matters).  open loop: each client keeps `window` requests
+// pipelined (throughput when latency is hidden).
+//
+// Reported per point: delivered ops/s, client-observed p50/p99 RPC
+// latency, operand bytes shipped per op vs dense, and the resulting
+// byte-savings factor — all archived to BENCH_net.json (--json=true) for
+// the CI perf trajectory.  Extra flags: --max_clients=4 (sweep 1,2,4,...),
+// --window=8, --churn=0.01, --io_threads=2.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace spmv::bench {
+namespace {
+
+struct PointResult {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t op_bytes_sent = 0;
+  std::uint64_t op_bytes_dense = 0;
+};
+
+double quantile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// One bench point: `clients` threads against `server`, stopping after
+/// `seconds` of wall clock.
+PointResult run_point(net::SpmvServer& server, int clients, bool delta,
+                      int window, double churn, double seconds,
+                      std::uint32_t n) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  std::vector<PointResult> partial(clients);
+  std::vector<std::vector<double>> lat_us(clients);
+
+  Timer timer;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientOptions copts;
+      copts.port = server.port();
+      copts.client_name = delta ? "bench-delta" : "bench-full";
+      copts.delta_mode = delta ? net::ClientOptions::DeltaMode::kAuto
+                               : net::ClientOptions::DeltaMode::kAlwaysFull;
+      copts.requested_quota = static_cast<std::uint32_t>(window) + 4;
+      net::SpmvNetClient client(copts);
+      client.connect();
+
+      Prng rng(0xBE9C + static_cast<std::uint64_t>(c));
+      std::vector<double> x(n);
+      for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+      const auto churn_n =
+          std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                         churn * static_cast<double>(n)));
+
+      auto perturb = [&] {
+        for (std::uint32_t k = 0; k < churn_n; ++k) {
+          x[rng.next_u64() % n] += 1e-3;
+        }
+      };
+
+      if (window <= 1) {
+        // Closed loop: RPC latency is the statistic.
+        while (!stop.load(std::memory_order_relaxed)) {
+          Timer rpc;
+          const auto r = client.multiply("A", x);
+          if (r.status != net::StatusCode::kOk) continue;
+          lat_us[c].push_back(rpc.seconds() * 1e6);
+          ++partial[c].ops;
+          perturb();
+        }
+      } else {
+        // Open loop: keep `window` requests pipelined.
+        std::deque<std::uint64_t> inflight;
+        while (!stop.load(std::memory_order_relaxed)) {
+          while (inflight.size() < static_cast<std::size_t>(window)) {
+            inflight.push_back(client.begin_multiply("A", x));
+            perturb();
+          }
+          const auto r = client.await(inflight.front());
+          inflight.pop_front();
+          if (r.status == net::StatusCode::kOk) ++partial[c].ops;
+        }
+        while (!inflight.empty()) {
+          (void)client.await(inflight.front());
+          inflight.pop_front();
+        }
+      }
+      partial[c].op_bytes_sent = client.counters().operand_bytes_sent;
+      partial[c].op_bytes_dense = client.counters().operand_bytes_dense;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  PointResult total;
+  total.seconds = timer.seconds();
+  std::vector<double> all_lat;
+  for (int c = 0; c < clients; ++c) {
+    total.ops += partial[c].ops;
+    total.op_bytes_sent += partial[c].op_bytes_sent;
+    total.op_bytes_dense += partial[c].op_bytes_dense;
+    all_lat.insert(all_lat.end(), lat_us[c].begin(), lat_us[c].end());
+  }
+  total.p50_us = quantile(all_lat, 0.5);
+  total.p99_us = quantile(all_lat, 0.99);
+  return total;
+}
+
+}  // namespace
+}  // namespace spmv::bench
+
+int main(int argc, char** argv) {
+  using namespace spmv;
+  using namespace spmv::bench;
+
+  const BenchConfig cfg = BenchConfig::from_cli(argc, argv);
+  const Cli cli(argc, argv);
+  const int max_clients = static_cast<int>(cli.get_double("max_clients", 4));
+  const int window = static_cast<int>(cli.get_double("window", 8));
+  const double churn = cli.get_double("churn", 0.01);
+  const unsigned io_threads =
+      static_cast<unsigned>(cli.get_double("io_threads", 2));
+  const double point_seconds = std::max(cfg.measure_seconds, 0.05);
+
+  const auto n =
+      static_cast<std::uint32_t>(std::max(1024.0, 16384.0 * cfg.scale));
+  const CsrMatrix matrix = gen::banded(n, 8, 0.9, 1234);
+
+  net::ServerConfig scfg;
+  scfg.io_threads = io_threads;
+  net::SpmvServer server(scfg);
+  server.start();
+  // Load in-process: the bench measures multiply traffic, not upload.
+  const unsigned plan_threads =
+      std::max(1u, std::min(4u, host_info().logical_cpus));
+  TuningOptions opt = TuningOptions::full(plan_threads);
+  opt.tune_prefetch = false;
+  server.registry().put("A", matrix, opt);
+
+  Table table({"loop", "mode", "clients", "ops", "ops/s", "p50_us", "p99_us",
+               "op_B/op", "dense_B/op", "saved_x"});
+
+  for (const bool open : {false, true}) {
+    for (int clients = 1; clients <= max_clients; clients *= 2) {
+      for (const bool delta : {false, true}) {
+        const PointResult r =
+            run_point(server, clients, delta, open ? window : 1, churn,
+                      point_seconds, n);
+        const double per_op = r.ops > 0 ? 1.0 / static_cast<double>(r.ops) : 0;
+        const double saved =
+            r.op_bytes_sent > 0 ? static_cast<double>(r.op_bytes_dense) /
+                                      static_cast<double>(r.op_bytes_sent)
+                                : 0.0;
+        table.add_row(
+            {open ? "open" : "closed", delta ? "delta" : "full",
+             std::to_string(clients), std::to_string(r.ops),
+             Table::fmt(static_cast<double>(r.ops) / r.seconds, 0),
+             Table::fmt(r.p50_us, 0), Table::fmt(r.p99_us, 0),
+             Table::fmt(static_cast<double>(r.op_bytes_sent) * per_op, 0),
+             Table::fmt(static_cast<double>(r.op_bytes_dense) * per_op, 0),
+             Table::fmt(saved)});
+      }
+    }
+  }
+
+  server.stop();
+  cfg.emit(table, "net");
+  return 0;
+}

@@ -1,0 +1,410 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace spmv::net {
+
+namespace {
+
+timeval to_timeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+SpmvNetClient::SpmvNetClient(ClientOptions options)
+    : options_(std::move(options)) {}
+
+SpmvNetClient::~SpmvNetClient() {
+  if (fd_ >= 0) {
+    try {
+      send_frame(FrameType::kGoodbye, next_request_id_++, {});
+    } catch (...) {
+      // Best-effort farewell; the socket close below is what matters.
+    }
+    close();
+  }
+}
+
+void SpmvNetClient::connect() {
+  if (fd_ >= 0) throw std::logic_error("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+
+  const timeval tv = to_timeval(options_.timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("client: bad host '" + options_.host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("client: connect failed: " + err);
+  }
+
+  HelloRequest hello;
+  hello.requested_quota = options_.requested_quota;
+  hello.client_name = options_.client_name;
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kHello, id, encode_hello(hello));
+  auto [type, payload] = await_frame(id);
+  if (type == FrameType::kHelloOk) {
+    HelloOk ok;
+    if (!decode_hello_ok(payload, ok)) {
+      close();
+      throw std::runtime_error("client: malformed HELLO_OK");
+    }
+    session_id_ = ok.session_id;
+    quota_ = ok.quota;
+    return;
+  }
+  StatusMsg status;
+  const bool decoded =
+      type == FrameType::kStatus && decode_status(payload, status);
+  close();
+  throw std::runtime_error("client: handshake rejected: " +
+                           (decoded ? status.message
+                                    : std::string("protocol error")));
+}
+
+void SpmvNetClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rdbuf_.clear();
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Operand encoding: the full/delta/cached crossover
+
+OperandSpec SpmvNetClient::make_operand(std::span<const double> x) {
+  OperandSpec spec;
+  spec.n = static_cast<std::uint32_t>(x.size());
+  const std::uint64_t dense = static_cast<std::uint64_t>(x.size()) * 8;
+
+  bool pick_full = options_.delta_mode == ClientOptions::DeltaMode::kAlwaysFull;
+  if (!pick_full && have_shadow_ && shadow_x_.size() == x.size()) {
+    DeltaVec d = diff(shadow_x_, x, options_.merge_gap);
+    if (d.runs.empty()) {
+      spec.mode = OperandMode::kCached;
+    } else if (wire_bytes(d) < dense) {
+      spec.mode = OperandMode::kDelta;
+      spec.delta = std::move(d);
+    } else {
+      pick_full = true;
+    }
+  } else {
+    pick_full = true;
+  }
+  if (pick_full) {
+    spec.mode = OperandMode::kFull;
+    spec.full.assign(x.begin(), x.end());
+  }
+
+  shadow_x_.assign(x.begin(), x.end());
+  have_shadow_ = true;
+
+  const std::uint64_t shipped = operand_wire_bytes(spec);
+  counters_.operand_bytes_sent += shipped;
+  counters_.operand_bytes_dense += dense;
+  switch (spec.mode) {
+    case OperandMode::kFull:
+      ++counters_.full_operands;
+      break;
+    case OperandMode::kDelta:
+      ++counters_.delta_operands;
+      break;
+    case OperandMode::kCached:
+      ++counters_.cached_operands;
+      break;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Request/response
+
+SpmvNetClient::Result SpmvNetClient::upload(
+    const std::string& name, std::uint32_t rows, std::uint32_t cols,
+    std::vector<std::uint64_t> row_ptr, std::vector<std::uint32_t> col_idx,
+    std::vector<double> values) {
+  UploadMatrixRequest req;
+  req.name = name;
+  req.rows = rows;
+  req.cols = cols;
+  req.row_ptr = std::move(row_ptr);
+  req.col_idx = std::move(col_idx);
+  req.values = std::move(values);
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kUploadMatrix, id, encode_upload(req));
+  auto [type, payload] = await_frame(id);
+  return to_result(type, payload);
+}
+
+std::uint64_t SpmvNetClient::begin_multiply(const std::string& name,
+                                            std::span<const double> x,
+                                            std::uint64_t deadline_us,
+                                            std::int32_t priority) {
+  MultiplyRequest req;
+  req.name = name;
+  req.deadline_us = deadline_us;
+  req.priority = priority;
+  req.operands.push_back(make_operand(x));
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kMultiply, id, encode_multiply(req));
+  return id;
+}
+
+SpmvNetClient::Result SpmvNetClient::multiply(const std::string& name,
+                                              std::span<const double> x,
+                                              std::uint64_t deadline_us,
+                                              std::int32_t priority) {
+  return await(begin_multiply(name, x, deadline_us, priority));
+}
+
+SpmvNetClient::Result SpmvNetClient::multiply_cached(
+    const std::string& name, std::uint64_t deadline_us,
+    std::int32_t priority) {
+  if (!have_shadow_) {
+    throw std::logic_error("multiply_cached with no vector ever shipped");
+  }
+  MultiplyRequest req;
+  req.name = name;
+  req.deadline_us = deadline_us;
+  req.priority = priority;
+  OperandSpec spec;
+  spec.mode = OperandMode::kCached;
+  spec.n = static_cast<std::uint32_t>(shadow_x_.size());
+  counters_.operand_bytes_sent += operand_wire_bytes(spec);
+  counters_.operand_bytes_dense += shadow_x_.size() * 8;
+  ++counters_.cached_operands;
+  req.operands.push_back(std::move(spec));
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kMultiply, id, encode_multiply(req));
+  return await(id);
+}
+
+SpmvNetClient::BatchResult SpmvNetClient::multiply_batch(
+    const std::string& name, const std::vector<std::vector<double>>& xs,
+    std::uint64_t deadline_us, std::int32_t priority) {
+  MultiplyRequest req;
+  req.name = name;
+  req.deadline_us = deadline_us;
+  req.priority = priority;
+  req.operands.reserve(xs.size());
+  // The shadow evolves across items exactly as the server's cache does —
+  // item i's delta applies to item i-1's vector.
+  for (const auto& x : xs) req.operands.push_back(make_operand(x));
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kMultiplyBatch, id, encode_multiply(req));
+
+  BatchResult out;
+  std::pair<FrameType, std::vector<std::uint8_t>> reply;
+  try {
+    reply = await_frame(id);
+  } catch (const std::exception& e) {
+    out.status = StatusCode::kConnectionLost;
+    out.message = e.what();
+    return out;
+  }
+  if (reply.first == FrameType::kMultiplyBatchResult) {
+    MultiplyBatchResult res;
+    if (!decode_multiply_batch_result(reply.second, res)) {
+      out.status = StatusCode::kProtocolError;
+      out.message = "malformed MULTIPLY_BATCH_RESULT";
+      return out;
+    }
+    out.items = std::move(res.items);
+    return out;
+  }
+  StatusMsg status;
+  if (reply.first == FrameType::kStatus &&
+      decode_status(reply.second, status)) {
+    out.status = status.code;
+    out.message = std::move(status.message);
+  } else {
+    out.status = StatusCode::kProtocolError;
+    out.message = "unexpected reply frame";
+  }
+  return out;
+}
+
+SpmvNetClient::Result SpmvNetClient::await(std::uint64_t request_id) {
+  try {
+    auto [type, payload] = await_frame(request_id);
+    return to_result(type, payload);
+  } catch (const std::exception& e) {
+    Result r;
+    r.status = StatusCode::kConnectionLost;
+    r.message = e.what();
+    return r;
+  }
+}
+
+SpmvNetClient::Result SpmvNetClient::cancel(std::uint64_t target_id) {
+  CancelRequest req;
+  req.target_id = target_id;
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kCancel, id, encode_cancel(req));
+  return await(id);
+}
+
+bool SpmvNetClient::stats(StatsResult& out) {
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kStats, id, {});
+  try {
+    auto [type, payload] = await_frame(id);
+    return type == FrameType::kStatsResult && decode_stats_result(payload, out);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool SpmvNetClient::health(HealthResult& out) {
+  const std::uint64_t id = next_request_id_++;
+  send_frame(FrameType::kHealth, id, {});
+  try {
+    auto [type, payload] = await_frame(id);
+    return type == FrameType::kHealthResult &&
+           decode_health_result(payload, out);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+void SpmvNetClient::send_frame(FrameType type, std::uint64_t request_id,
+                               std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(type, request_id, payload);
+  send_all(frame.data(), frame.size());
+}
+
+void SpmvNetClient::send_all(const std::uint8_t* data, std::size_t n) {
+  if (fd_ < 0) throw std::runtime_error("client: not connected");
+  std::size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a dropped server connection must throw, not SIGPIPE.
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    const std::string err =
+        w < 0 ? std::strerror(errno) : std::string("short write");
+    close();
+    throw std::runtime_error("client: send failed: " + err);
+  }
+  counters_.bytes_sent += n;
+}
+
+void SpmvNetClient::recv_frame(FrameHeader& header,
+                               std::vector<std::uint8_t>& payload) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    std::span<const std::uint8_t> view;
+    std::size_t consumed = 0;
+    const ParseStatus st =
+        parse_frame(rdbuf_, options_.max_payload, header, view, consumed);
+    if (st == ParseStatus::kFrame) {
+      payload.assign(view.begin(), view.end());
+      rdbuf_.erase(rdbuf_.begin(),
+                   rdbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return;
+    }
+    if (st != ParseStatus::kNeedMore) {
+      close();
+      throw std::runtime_error(std::string("client: wire error: ") +
+                               to_string(st));
+    }
+    if (fd_ < 0) throw std::runtime_error("client: not connected");
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      rdbuf_.insert(rdbuf_.end(), buf, buf + n);
+      counters_.bytes_received += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const std::string err = n == 0 ? std::string("connection closed")
+                            : (errno == EAGAIN || errno == EWOULDBLOCK)
+                                ? std::string("receive timeout")
+                                : std::string(std::strerror(errno));
+    close();
+    throw std::runtime_error("client: " + err);
+  }
+}
+
+std::pair<FrameType, std::vector<std::uint8_t>> SpmvNetClient::await_frame(
+    std::uint64_t request_id) {
+  if (auto it = pending_.find(request_id); it != pending_.end()) {
+    auto reply = std::move(it->second);
+    pending_.erase(it);
+    return reply;
+  }
+  for (;;) {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    recv_frame(header, payload);
+    if (header.request_id == request_id) {
+      return {header.type, std::move(payload)};
+    }
+    if (header.type == FrameType::kGoodbye && header.request_id == 0) {
+      server_goodbye_ = true;  // drain announcement, not a reply
+      continue;
+    }
+    pending_.emplace(header.request_id,
+                     std::make_pair(header.type, std::move(payload)));
+  }
+}
+
+SpmvNetClient::Result SpmvNetClient::to_result(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  Result r;
+  switch (type) {
+    case FrameType::kMultiplyResult: {
+      MultiplyResult res;
+      if (!decode_multiply_result(payload, res)) break;
+      r.y = std::move(res.y);
+      return r;
+    }
+    case FrameType::kStatus: {
+      StatusMsg status;
+      if (!decode_status(payload, status)) break;
+      r.status = status.code;
+      r.message = std::move(status.message);
+      return r;
+    }
+    case FrameType::kGoodbye:  // echoed farewell
+      return r;
+    default:
+      break;
+  }
+  r.status = StatusCode::kProtocolError;
+  r.message = "unexpected reply frame";
+  return r;
+}
+
+}  // namespace spmv::net

@@ -1,0 +1,167 @@
+// SpmvNetClient: blocking client library for the SpMV network service.
+//
+// One instance drives one connection and is deliberately single-threaded
+// (no locks, no background threads) — the concurrency story lives on the
+// server.  The tests, the bench harness, and examples/spmv_client.cpp all
+// speak the protocol through this class rather than hand-rolling frames.
+//
+// Operand shipping is where the client earns its keep: it keeps a shadow
+// copy of the last vector sent and, in DeltaMode::kAuto, encodes each new
+// operand as whichever of {cached (identical), delta (cheaper than
+// dense), full} costs the fewest wire bytes.  The shadow evolves exactly
+// like the server's session cache, including across batch items, so the
+// two can never disagree about what a delta applies to.
+//
+// Request/response calls (`multiply`, `upload`, ...) are synchronous.
+// `begin_multiply` + `await` expose the protocol's pipelining: many
+// requests can be in flight (up to the HELLO-granted quota) and replies
+// are routed by request id, arriving in any order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace spmv::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string client_name = "spmv-client";
+  std::uint32_t requested_quota = 0;  ///< 0 = accept the server default
+  /// Socket send/receive timeout; a blocking call that exceeds it throws.
+  std::chrono::milliseconds timeout{5000};
+  std::size_t max_payload = std::size_t{256} << 20;
+
+  enum class DeltaMode {
+    kAuto,        ///< cheapest of cached / delta / full per operand
+    kAlwaysFull,  ///< ship dense always (baseline for the bench)
+  };
+  DeltaMode delta_mode = DeltaMode::kAuto;
+  /// diff() run-merge gap: bridge gaps of fewer than this many unchanged
+  /// elements instead of starting a new run.
+  std::uint32_t merge_gap = 8;
+};
+
+class SpmvNetClient {
+ public:
+  explicit SpmvNetClient(ClientOptions options = {});
+  ~SpmvNetClient();  ///< best-effort GOODBYE + close
+
+  SpmvNetClient(const SpmvNetClient&) = delete;
+  SpmvNetClient& operator=(const SpmvNetClient&) = delete;
+
+  /// Connect and run the HELLO handshake.  Throws std::runtime_error on
+  /// transport failure or a rejected handshake.
+  void connect();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  /// Close the socket without the GOODBYE exchange (tests use this to
+  /// exercise the server's disconnect-cancels-in-flight path).
+  void close();
+
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  [[nodiscard]] std::uint32_t quota() const { return quota_; }
+
+  /// Outcome of one request: kOk fills `y` for multiplies; anything else
+  /// carries the server's message.  kConnectionLost is synthesized
+  /// client-side when the transport dies mid-call.
+  struct Result {
+    StatusCode status = StatusCode::kOk;
+    std::string message;
+    std::vector<double> y;
+  };
+
+  Result upload(const std::string& name, std::uint32_t rows,
+                std::uint32_t cols, std::vector<std::uint64_t> row_ptr,
+                std::vector<std::uint32_t> col_idx,
+                std::vector<double> values);
+
+  Result multiply(const std::string& name, std::span<const double> x,
+                  std::uint64_t deadline_us = 0, std::int32_t priority = 0);
+  /// Reuse the session's cached vector untouched (throws std::logic_error
+  /// when nothing was ever shipped).
+  Result multiply_cached(const std::string& name,
+                         std::uint64_t deadline_us = 0,
+                         std::int32_t priority = 0);
+
+  struct BatchResult {
+    StatusCode status = StatusCode::kOk;  ///< transport/frame-level outcome
+    std::string message;
+    std::vector<BatchItemResult> items;
+  };
+  BatchResult multiply_batch(const std::string& name,
+                             const std::vector<std::vector<double>>& xs,
+                             std::uint64_t deadline_us = 0,
+                             std::int32_t priority = 0);
+
+  /// Pipelined submission: returns the request id to pass to await().
+  std::uint64_t begin_multiply(const std::string& name,
+                               std::span<const double> x,
+                               std::uint64_t deadline_us = 0,
+                               std::int32_t priority = 0);
+  /// Block until the reply for `request_id` arrives (replies for other
+  /// in-flight ids are buffered and routed to their own await calls).
+  Result await(std::uint64_t request_id);
+
+  /// Ask the server to cancel an in-flight request.  kOk means the cancel
+  /// was delivered; the cancelled request's own await() reports the race
+  /// outcome (kCancelled or its result).
+  Result cancel(std::uint64_t target_id);
+
+  [[nodiscard]] bool stats(StatsResult& out);
+  [[nodiscard]] bool health(HealthResult& out);
+
+  /// True once the server announced drain shutdown (GOODBYE, id 0).
+  [[nodiscard]] bool server_goodbye() const { return server_goodbye_; }
+
+  /// Wire-cost accounting for the bench: what the delta encoding saved.
+  struct Counters {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t full_operands = 0;
+    std::uint64_t delta_operands = 0;
+    std::uint64_t cached_operands = 0;
+    /// Encoded operand bytes actually shipped (vs n*8 dense per operand).
+    std::uint64_t operand_bytes_sent = 0;
+    std::uint64_t operand_bytes_dense = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  /// Encode x per delta_mode against the shadow, update the shadow, and
+  /// account the wire cost.
+  OperandSpec make_operand(std::span<const double> x);
+  void send_frame(FrameType type, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload);
+  void send_all(const std::uint8_t* data, std::size_t n);
+  /// Block for the next complete frame; throws on transport/protocol
+  /// failure.
+  void recv_frame(FrameHeader& header, std::vector<std::uint8_t>& payload);
+  /// Route frames until `request_id`'s reply arrives.
+  std::pair<FrameType, std::vector<std::uint8_t>> await_frame(
+      std::uint64_t request_id);
+  static Result to_result(FrameType type,
+                          std::span<const std::uint8_t> payload);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t session_id_ = 0;
+  std::uint32_t quota_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> rdbuf_;
+  /// Replies that arrived while awaiting a different id.
+  std::map<std::uint64_t, std::pair<FrameType, std::vector<std::uint8_t>>>
+      pending_;
+  std::vector<double> shadow_x_;  ///< mirror of the server's cached x
+  bool have_shadow_ = false;
+  bool server_goodbye_ = false;
+  Counters counters_;
+};
+
+}  // namespace spmv::net

@@ -1,0 +1,97 @@
+#include "net/delta.h"
+
+#include <bit>
+
+namespace spmv::net {
+
+namespace {
+
+/// Changed means *bit pattern* changed: NaN==NaN, -0.0 != +0.0.
+bool bits_differ(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) != std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+std::size_t wire_bytes(const DeltaVec& d) {
+  return sizeof(std::uint32_t) +
+         d.runs.size() * (2 * sizeof(std::uint32_t)) +
+         d.values.size() * sizeof(double);
+}
+
+DeltaVec diff(std::span<const double> base, std::span<const double> next,
+              std::uint32_t merge_gap) {
+  DeltaVec out;
+  out.n = static_cast<std::uint32_t>(next.size());
+  if (base.size() != next.size()) {
+    // Length change: no common structure to exploit; one run rewrites all.
+    if (!next.empty()) {
+      out.runs.push_back({0, out.n});
+      out.values.assign(next.begin(), next.end());
+    }
+    return out;
+  }
+  std::size_t i = 0;
+  const std::size_t n = next.size();
+  while (i < n) {
+    if (!bits_differ(base[i], next[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    std::size_t end = i + 1;  // one past the last changed index kept
+    std::size_t j = i + 1;
+    while (j < n) {
+      if (bits_differ(base[j], next[j])) {
+        end = ++j;
+        continue;
+      }
+      // Unchanged entry: merge it into the run if the gap to the next
+      // change is small enough to be cheaper than a new run header.
+      std::size_t gap_end = j;
+      while (gap_end < n && gap_end - j < merge_gap &&
+             !bits_differ(base[gap_end], next[gap_end])) {
+        ++gap_end;
+      }
+      if (gap_end < n && gap_end - j < merge_gap &&
+          bits_differ(base[gap_end], next[gap_end])) {
+        end = j = gap_end + 1;  // bridge the gap, keep extending
+        continue;
+      }
+      break;
+    }
+    out.runs.push_back({static_cast<std::uint32_t>(start),
+                        static_cast<std::uint32_t>(end - start)});
+    out.values.insert(out.values.end(), next.begin() + start,
+                      next.begin() + end);
+    i = end;
+  }
+  return out;
+}
+
+bool apply(const DeltaVec& d, std::vector<double>& x) {
+  if (x.size() != d.n) return false;
+  // Validate every run before the first write so a bad delta leaves x
+  // untouched (the server replies kBadRequest and keeps its cache).
+  std::size_t total = 0;
+  std::uint64_t prev_end = 0;
+  for (const DeltaRun& r : d.runs) {
+    if (r.count == 0) return false;
+    const std::uint64_t end =
+        static_cast<std::uint64_t>(r.start) + r.count;
+    if (end > d.n || r.start < prev_end) return false;
+    prev_end = end;
+    total += r.count;
+  }
+  if (total != d.values.size()) return false;
+  const double* src = d.values.data();
+  for (const DeltaRun& r : d.runs) {
+    for (std::uint32_t k = 0; k < r.count; ++k) {
+      x[r.start + k] = src[k];
+    }
+    src += r.count;
+  }
+  return true;
+}
+
+}  // namespace spmv::net

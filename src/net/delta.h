@@ -1,0 +1,61 @@
+// Delta encoding for operand vectors.
+//
+// Iterative solvers re-multiply with an x that changed in only a few
+// entries per step (boundary updates, rank-one corrections, Jacobi-style
+// sweeps over a subdomain).  Shipping the full dense vector on every RPC
+// wastes most of the request bytes; shipping (index, value) pairs wastes
+// half the bytes on indices when changes cluster.  DeltaVec encodes the
+// middle ground: *runs* of consecutive changed entries, each a
+// (start, count) header followed by `count` doubles.  Adjacent changes
+// share one header; isolated changes pay 8 bytes of header each, which is
+// why diff() merges runs separated by small gaps — two doubles of
+// redundant payload are cheaper than a fresh header.
+//
+// Equality is *bit-pattern* equality (bit_cast to uint64_t), never
+// operator==, so NaN -> NaN counts as unchanged and -0.0 -> +0.0 counts
+// as changed: apply() reproduces the target vector bit-identically, which
+// the tests assert with memcmp.
+//
+// apply() validates every run against the destination length before
+// writing — a forged delta cannot write out of bounds — and
+// wire_bytes() lets the client compare the encoded size against the
+// dense alternative and fall back to kFull past the crossover.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spmv::net {
+
+struct DeltaRun {
+  std::uint32_t start = 0;  ///< first changed index
+  std::uint32_t count = 0;  ///< number of consecutive values
+};
+
+/// Sparse update transforming one length-n vector into another.
+struct DeltaVec {
+  std::uint32_t n = 0;            ///< length both vectors must have
+  std::vector<DeltaRun> runs;     ///< ascending, non-overlapping
+  std::vector<double> values;     ///< concatenated run payloads
+};
+
+/// Encoded wire size of `d` as net/wire.h ships it: a u32 run count plus
+/// 8 header bytes and 8 payload bytes per value for each run.
+[[nodiscard]] std::size_t wire_bytes(const DeltaVec& d);
+
+/// Diff `next` against `base` (equal lengths required).  Entries are
+/// compared by bit pattern; runs separated by a gap of fewer than
+/// `merge_gap` unchanged entries are merged into one (re-sending the gap
+/// values verbatim), trading <= 8*gap redundant payload bytes against an
+/// 8-byte run header.
+[[nodiscard]] DeltaVec diff(std::span<const double> base,
+                            std::span<const double> next,
+                            std::uint32_t merge_gap = 1);
+
+/// Apply `d` onto `x` in place.  Returns false (without touching `x`) if
+/// the delta is inconsistent: length mismatch, run out of bounds, runs
+/// out of order or overlapping, or values shorter than the runs claim.
+[[nodiscard]] bool apply(const DeltaVec& d, std::vector<double>& x);
+
+}  // namespace spmv::net

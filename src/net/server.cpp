@@ -1,0 +1,1080 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "matrix/csr.h"
+#include "util/fault_point.h"
+
+namespace spmv::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-effort one-byte write used for doorbells: a full pipe means a
+/// wakeup is already pending, which is exactly as good as ours.
+void ring(int fd) {
+  if (fd < 0) return;
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
+}
+
+void drain_pipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof buf) > 0) {
+  }
+}
+
+void make_pipe(int fds[2]) {
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw std::runtime_error("net: pipe2 failed");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Private aggregates
+
+/// One in-flight multiply item: pins the operand snapshot it was
+/// submitted with (copy-on-write cache discipline — a later delta can
+/// never mutate it), owns the result buffer, and carries the future +
+/// cancel token.  Shared between the connection's in-flight map and the
+/// scheduler's on_complete hook; whichever side finishes last frees it,
+/// so a disconnect can never leak a future or dangle a buffer under the
+/// executing batch.
+struct SpmvServer::PendingOp {
+  std::uint64_t conn_id = 0;
+  std::uint64_t request_id = 0;
+  std::shared_ptr<ClientSlot> slot;
+  std::shared_ptr<const std::vector<double>> x;
+  std::vector<double> y;
+  std::future<void> future;
+  serve::CancelToken token;
+  Clock::time_point started;
+};
+
+/// A MULTIPLY_BATCH in flight: the reply ships only when every item
+/// resolved.  `remaining` is decremented by each item's completion hook
+/// (dispatcher threads); the decrementer that hits zero posts the batch
+/// to the owning I/O thread.
+struct SpmvServer::BatchState {
+  std::uint64_t conn_id = 0;
+  std::uint64_t request_id = 0;
+  std::shared_ptr<ClientSlot> slot;
+  Clock::time_point started;
+  std::vector<std::shared_ptr<PendingOp>> items;
+  std::atomic<std::uint32_t> remaining{0};
+};
+
+struct SpmvServer::UploadJob {
+  std::uint64_t conn_id = 0;
+  unsigned io_index = 0;
+  std::uint64_t request_id = 0;
+  UploadMatrixRequest req;
+};
+
+/// One connection.  Owned exclusively by its I/O thread — every member
+/// here is single-threaded state; anything cross-thread lives in the
+/// ClientSlot's atomics or the server counters.
+struct SpmvServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> rdbuf;
+  std::deque<std::vector<std::uint8_t>> wq;
+  std::size_t wq_off = 0;  ///< bytes of wq.front() already written
+  bool closing = false;    ///< flush remaining writes, then close
+  bool kill = false;       ///< close without flushing
+  std::shared_ptr<ClientSlot> slot;  ///< null until HELLO
+  std::map<std::uint64_t, std::shared_ptr<PendingOp>> ops;
+  std::map<std::uint64_t, std::shared_ptr<BatchState>> batches;
+  Clock::time_point last_activity;
+};
+
+struct SpmvServer::IoThread {
+  unsigned index = 0;
+  int doorbell[2] = {-1, -1};
+  Mutex mutex;
+  std::vector<Completion> inbox SPMV_GUARDED_BY(mutex);
+  std::vector<int> new_fds SPMV_GUARDED_BY(mutex);
+  /// Owned by the I/O thread; other threads never touch the map.
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+SpmvServer::SpmvServer(ServerConfig config)
+    : config_(std::move(config)), scheduler_(registry_, config_.scheduler) {}
+
+SpmvServer::~SpmvServer() { stop(); }
+
+void SpmvServer::start() {
+  // acq_rel: the exchange both wins the one-shot race and orders this
+  // thread's setup after any concurrent starter's observation.
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw std::runtime_error("net: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("net: bad bind address '" +
+                             config_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("net: bind/listen on " + config_.bind_address +
+                             " failed: " + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  make_pipe(stop_pipe_);
+
+  const unsigned n = config_.io_threads == 0 ? 1 : config_.io_threads;
+  io_threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->index = i;
+    make_pipe(io->doorbell);
+    io_threads_.push_back(std::move(io));
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    io_threads_[i]->thread = std::thread([this, i] { io_loop(i); });
+  }
+  upload_thread_ = std::thread([this] { upload_loop(); });
+}
+
+void SpmvServer::wait() {
+  MutexLock lock(wait_mutex_);
+  while (!stop_requested_) wait_cv_.wait(wait_mutex_);
+}
+
+void SpmvServer::request_stop() noexcept {
+  // Async-signal-safe by construction: one write(2) on a pre-opened
+  // non-blocking pipe, no locks, no allocation.
+  ring(stop_pipe_[1]);
+}
+
+void SpmvServer::stop() {
+  // acq_rel: one thread wins the shutdown; later callers see its effects.
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+
+  {
+    MutexLock lock(wait_mutex_);
+    stop_requested_ = true;
+    wait_cv_.notify_all();
+  }
+  // acquire: pairs with start()'s exchange so a stop() racing start()
+  // observes whether threads were actually spawned.
+  if (!started_.load(std::memory_order_acquire)) {
+    scheduler_.shutdown(serve::Scheduler::Drain::kDrain);
+    return;
+  }
+
+  // Phase 1 — stop admitting: thread 0 drops the listener from its poll
+  // set and every MULTIPLY/UPLOAD from here on answers SHUTDOWN.
+  // release: I/O threads acquire-load this flag; the pairing makes any
+  // state written before the drain visible to their shutdown handling.
+  draining_.store(true, std::memory_order_release);
+  for (auto& io : io_threads_) ring(io->doorbell[1]);
+
+  // Phase 2 — finish queued uploads (their completions need live I/O
+  // threads to deliver).
+  {
+    MutexLock lock(upload_mutex_);
+    upload_stop_ = true;
+    upload_cv_.notify_all();
+  }
+  if (upload_thread_.joinable()) upload_thread_.join();
+
+  // Phase 3 — drain the scheduler.  When this returns every in-flight
+  // request has resolved AND fired its on_complete hook, so every
+  // completion record is already in some I/O thread's inbox; the I/O
+  // threads keep writing replies out during the whole drain.
+  scheduler_.shutdown(serve::Scheduler::Drain::kDrain);
+
+  // Phase 4 — I/O threads run their final pass: drain inboxes, GOODBYE
+  // each session, flush within drain_grace, close, exit.
+  // release: pairs with the I/O loops' acquire load.
+  io_stopping_.store(true, std::memory_order_release);
+  for (auto& io : io_threads_) ring(io->doorbell[1]);
+  for (auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& io : io_threads_) {
+    if (io->doorbell[0] >= 0) ::close(io->doorbell[0]);
+    if (io->doorbell[1] >= 0) ::close(io->doorbell[1]);
+    io->doorbell[0] = io->doorbell[1] = -1;
+  }
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+}
+
+NetStatsSnapshot SpmvServer::net_stats() const {
+  NetStatsSnapshot s;
+  // relaxed: statistics counters, individually monotonic.
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.active_connections = active_conns_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_.totals().opened;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.shed_replies = shed_replies_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.completions_dropped =
+      completions_dropped_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Upload control thread: registry.put() tunes the matrix, which can take
+// arbitrarily long — it must never run on an I/O thread.
+
+void SpmvServer::upload_loop() {
+  for (;;) {
+    UploadJob job;
+    {
+      MutexLock lock(upload_mutex_);
+      while (uploads_.empty() && !upload_stop_) upload_cv_.wait(upload_mutex_);
+      if (uploads_.empty()) return;  // stop requested and queue drained
+      job = std::move(uploads_.front());
+      uploads_.pop_front();
+    }
+    StatusMsg result;
+    try {
+      CsrMatrix m(job.req.rows, job.req.cols, std::move(job.req.row_ptr),
+                  std::move(job.req.col_idx), std::move(job.req.values));
+      registry_.put(job.req.name, m, config_.tuning);
+      result.code = StatusCode::kOk;
+      result.message = "tuned '" + job.req.name + "'";
+    } catch (const std::exception& e) {
+      result.code = StatusCode::kBadRequest;
+      result.message = e.what();
+    }
+    Completion c;
+    c.conn_id = job.conn_id;
+    c.frame = encode_frame(FrameType::kStatus, job.request_id,
+                           encode_status(result));
+    c.has_frame = true;
+    post_completion(job.io_index, std::move(c));
+  }
+}
+
+void SpmvServer::post_completion(unsigned io_index, Completion c) {
+  IoThread& io = *io_threads_[io_index];
+  {
+    MutexLock lock(io.mutex);
+    io.inbox.push_back(std::move(c));
+  }
+  ring(io.doorbell[1]);
+}
+
+// ---------------------------------------------------------------------------
+// I/O loop
+
+void SpmvServer::io_loop(unsigned index) {
+  IoThread& io = *io_threads_[index];
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> ids;  // 0 for control fds, else conn id
+
+  for (;;) {
+    pfds.clear();
+    ids.clear();
+    pfds.push_back({io.doorbell[0], POLLIN, 0});
+    ids.push_back(0);
+    int stop_slot = -1;
+    int listen_slot = -1;
+    if (index == 0) {
+      stop_slot = static_cast<int>(pfds.size());
+      pfds.push_back({stop_pipe_[0], POLLIN, 0});
+      ids.push_back(0);
+      // acquire: pairs with stop()'s release store; once draining, the
+      // listener leaves the poll set and no connection is ever accepted.
+      if (!draining_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+        listen_slot = static_cast<int>(pfds.size());
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        ids.push_back(0);
+      }
+    }
+    for (const auto& [id, conn] : io.conns) {
+      short events = POLLIN;
+      if (!conn->wq.empty()) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      ids.push_back(id);
+    }
+
+    const int timeout_ms = config_.idle_timeout.count() > 0 ? 100 : -1;
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    // acquire: pairs with stop()'s release store after the scheduler
+    // drained — everything the drain produced is in our inbox by now.
+    if (io_stopping_.load(std::memory_order_acquire)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure; shutdown will reap
+    }
+
+    if (pfds[0].revents != 0) drain_pipe(io.doorbell[0]);
+    drain_inbox(io);
+
+    if (stop_slot >= 0 && pfds[stop_slot].revents != 0) {
+      drain_pipe(stop_pipe_[0]);
+      MutexLock lock(wait_mutex_);
+      stop_requested_ = true;
+      wait_cv_.notify_all();
+    }
+    if (listen_slot >= 0 && (pfds[listen_slot].revents & POLLIN) != 0) {
+      accept_ready(io);
+    }
+
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (ids[i] == 0 || pfds[i].revents == 0) continue;
+      auto it = io.conns.find(ids[i]);
+      if (it == io.conns.end()) continue;  // closed earlier this round
+      Conn& conn = *it->second;
+      if ((pfds[i].revents & POLLIN) != 0) handle_readable(io, conn);
+      // Re-find: handle_readable may have closed the connection on EOF.
+      it = io.conns.find(ids[i]);
+      if (it == io.conns.end()) continue;
+      if ((pfds[i].revents & POLLOUT) != 0) flush_writes(*it->second);
+      if ((pfds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        it->second->kill = true;
+      }
+      Conn& c2 = *it->second;
+      if (c2.kill || (c2.closing && c2.wq.empty())) close_conn(io, ids[i]);
+    }
+
+    reap_idle(io);
+  }
+
+  // --- final pass: the scheduler already drained, so the inbox holds
+  // every outstanding completion.  Answer them, say GOODBYE, flush, close.
+  drain_pipe(io.doorbell[0]);
+  drain_inbox(io);
+  for (auto& [id, conn] : io.conns) {
+    if (conn->slot != nullptr && !conn->kill) {
+      send_frame(*conn, FrameType::kGoodbye, 0, {});
+    }
+  }
+  const auto flush_deadline = Clock::now() + config_.drain_grace;
+  for (;;) {
+    bool pending = false;
+    pfds.clear();
+    ids.clear();
+    for (const auto& [id, conn] : io.conns) {
+      if (conn->wq.empty() || conn->kill) continue;
+      pending = true;
+      pfds.push_back({conn->fd, POLLOUT, 0});
+      ids.push_back(id);
+    }
+    if (!pending || Clock::now() >= flush_deadline) break;
+    if (::poll(pfds.data(), pfds.size(), 50) < 0 && errno != EINTR) break;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & POLLOUT) == 0) continue;
+      auto it = io.conns.find(ids[i]);
+      if (it != io.conns.end()) flush_writes(*it->second);
+    }
+  }
+  while (!io.conns.empty()) close_conn(io, io.conns.begin()->first);
+}
+
+void SpmvServer::accept_ready(IoThread& io0) {
+  (void)io0;
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or transient error: poll will re-arm
+    }
+    if (SPMV_FAULT_POINT("net.accept_fail")) {
+      // Simulated transient accept failure: the connection is dropped
+      // before any session state exists — clients see a reset and retry.
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    // relaxed: the counter only distributes connections round-robin.
+    const std::uint64_t seq = accepted_.fetch_add(1, std::memory_order_relaxed);
+    IoThread& target = *io_threads_[seq % io_threads_.size()];
+    {
+      MutexLock lock(target.mutex);
+      target.new_fds.push_back(fd);
+    }
+    ring(target.doorbell[1]);
+  }
+}
+
+void SpmvServer::drain_inbox(IoThread& io) {
+  std::vector<Completion> comps;
+  std::vector<int> fds;
+  {
+    MutexLock lock(io.mutex);
+    comps.swap(io.inbox);
+    fds.swap(io.new_fds);
+  }
+  for (const int fd : fds) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    // relaxed: ids only need uniqueness.
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->last_activity = Clock::now();
+    // relaxed: statistics gauge.
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    io.conns.emplace(conn->id, std::move(conn));
+  }
+  for (Completion& c : comps) process_completion(io, std::move(c));
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+void SpmvServer::handle_readable(IoThread& io, Conn& conn) {
+  SPMV_FAULT_DELAY("net.slow_client");
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.rdbuf.insert(conn.rdbuf.end(), buf, buf + n);
+      // relaxed: statistics counter.
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      if (conn.slot) {
+        conn.slot->count_bytes_in(static_cast<std::uint64_t>(n));
+      }
+      conn.last_activity = Clock::now();
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed: cancel in-flight, tear down now
+      close_conn(io, conn.id);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(io, conn.id);
+    return;
+  }
+
+  while (!conn.closing && !conn.kill) {
+    FrameHeader header;
+    std::span<const std::uint8_t> payload;
+    std::size_t consumed = 0;
+    const ParseStatus st = parse_frame(conn.rdbuf, config_.max_payload,
+                                       header, payload, consumed);
+    if (st == ParseStatus::kNeedMore) break;
+    if (st == ParseStatus::kFrame) {
+      handle_frame(io, conn, header, payload);
+      conn.rdbuf.erase(conn.rdbuf.begin(),
+                       conn.rdbuf.begin() +
+                           static_cast<std::ptrdiff_t>(consumed));
+      continue;
+    }
+    // Wire-level violation: the stream is unrecoverable.  When the
+    // header survived its CRC we can still address an error reply;
+    // otherwise the bytes are noise and the socket just closes.
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (st == ParseStatus::kBadPayloadCrc || st == ParseStatus::kOversized ||
+        st == ParseStatus::kUnknownType) {
+      send_status(conn, header.request_id, StatusCode::kProtocolError,
+                  to_string(st));
+      conn.closing = true;
+    } else {
+      conn.kill = true;
+    }
+    break;
+  }
+}
+
+void SpmvServer::handle_frame(IoThread& io, Conn& conn,
+                              const FrameHeader& header,
+                              std::span<const std::uint8_t> payload) {
+  if (header.flags != 0) {  // reserved in version 1
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_status(conn, header.request_id, StatusCode::kProtocolError,
+                "nonzero flags");
+    conn.closing = true;
+    return;
+  }
+
+  if (header.type == FrameType::kHello) {
+    HelloRequest req;
+    if (conn.slot != nullptr || !decode_hello(payload, req)) {
+      // relaxed: statistics counter.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_status(conn, header.request_id, StatusCode::kProtocolError,
+                  conn.slot ? "duplicate HELLO" : "malformed HELLO");
+      conn.closing = true;
+      return;
+    }
+    std::uint32_t quota = req.requested_quota == 0 ? config_.default_quota
+                                                   : req.requested_quota;
+    if (quota > config_.max_quota) quota = config_.max_quota;
+    if (quota == 0) quota = 1;
+    conn.slot = sessions_.open(quota);
+    conn.slot->client_name = std::move(req.client_name);
+    HelloOk ok;
+    ok.session_id = conn.slot->id;
+    ok.quota = quota;
+    ok.max_payload = config_.max_payload;
+    send_frame(conn, FrameType::kHelloOk, header.request_id,
+               encode_hello_ok(ok));
+    return;
+  }
+
+  if (conn.slot == nullptr) {
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    send_status(conn, header.request_id, StatusCode::kProtocolError,
+                "HELLO required first");
+    conn.closing = true;
+    return;
+  }
+
+  switch (header.type) {
+    case FrameType::kUploadMatrix: {
+      // acquire: pairs with stop()'s release; no new work once draining.
+      if (draining_.load(std::memory_order_acquire)) {
+        send_status(conn, header.request_id, StatusCode::kShutdown,
+                    "server draining");
+        return;
+      }
+      UploadJob job;
+      if (!decode_upload(payload, job.req)) {
+        send_status(conn, header.request_id, StatusCode::kBadRequest,
+                    "malformed UPLOAD_MATRIX");
+        return;
+      }
+      job.conn_id = conn.id;
+      job.io_index = io.index;
+      job.request_id = header.request_id;
+      {
+        MutexLock lock(upload_mutex_);
+        if (upload_stop_) {
+          // Raced shutdown: answer rather than queue into a dead worker.
+        } else {
+          uploads_.push_back(std::move(job));
+          upload_cv_.notify_one();
+          return;
+        }
+      }
+      send_status(conn, header.request_id, StatusCode::kShutdown,
+                  "server draining");
+      return;
+    }
+    case FrameType::kMultiply:
+      handle_multiply(io, conn, header, /*batch=*/false, payload);
+      return;
+    case FrameType::kMultiplyBatch:
+      handle_multiply(io, conn, header, /*batch=*/true, payload);
+      return;
+    case FrameType::kCancel:
+      handle_cancel(conn, header.request_id, payload);
+      return;
+    case FrameType::kStats:
+      handle_stats(conn, header.request_id);
+      return;
+    case FrameType::kHealth:
+      handle_health(conn, header.request_id);
+      return;
+    case FrameType::kGoodbye: {
+      // Graceful client exit: in-flight work is cancelled (their
+      // completions will be dropped), the farewell is acknowledged, and
+      // the connection closes once the reply flushed.
+      for (auto& [id, op] : conn.ops) (void)op->token.cancel();
+      for (auto& [id, b] : conn.batches) {
+        for (auto& item : b->items) (void)item->token.cancel();
+      }
+      send_frame(conn, FrameType::kGoodbye, header.request_id, {});
+      conn.closing = true;
+      return;
+    }
+    default:
+      // Server-to-client frame types arriving at the server.
+      // relaxed: statistics counter.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_status(conn, header.request_id, StatusCode::kProtocolError,
+                  "unexpected frame type");
+      conn.closing = true;
+      return;
+  }
+}
+
+void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
+                                 const FrameHeader& header, bool batch,
+                                 std::span<const std::uint8_t> payload) {
+  MultiplyRequest req;
+  if (!decode_multiply(payload, batch, req)) {
+    send_status(conn, header.request_id, StatusCode::kBadRequest,
+                "malformed MULTIPLY");
+    return;
+  }
+  // acquire: pairs with stop()'s release; draining admits nothing new.
+  if (draining_.load(std::memory_order_acquire)) {
+    send_status(conn, header.request_id, StatusCode::kShutdown,
+                "server draining");
+    return;
+  }
+  ClientSlot& slot = *conn.slot;
+  const auto k = static_cast<std::uint32_t>(req.operands.size());
+  if (conn.ops.count(header.request_id) != 0 ||
+      conn.batches.count(header.request_id) != 0) {
+    send_status(conn, header.request_id, StatusCode::kBadRequest,
+                "request id already in flight");
+    return;
+  }
+  if (slot.in_flight + k > slot.quota) {
+    send_status(conn, header.request_id, StatusCode::kQuotaExceeded,
+                "session quota exhausted");
+    return;
+  }
+  const auto entry = registry_.find(req.name);
+  if (entry == nullptr) {
+    send_status(conn, header.request_id, StatusCode::kUnknownMatrix,
+                "no matrix '" + req.name + "'");
+    return;
+  }
+  const std::uint32_t rows = entry->plan.rows();
+  const std::uint32_t cols = entry->plan.cols();
+  const std::uint64_t dense_bytes =
+      static_cast<std::uint64_t>(cols) * sizeof(double);
+
+  // Resolve every operand to a pinned snapshot BEFORE submitting or
+  // publishing anything: a bad item rejects the whole request and leaves
+  // the session cache untouched.  Deltas chain — item i patches item
+  // i-1's vector (copy-on-write, so snapshots already pinned by earlier
+  // requests are never mutated).
+  std::vector<std::shared_ptr<const std::vector<double>>> xs;
+  std::vector<std::uint64_t> shipped;
+  xs.reserve(k);
+  shipped.reserve(k);
+  std::shared_ptr<const std::vector<double>> cur = slot.cached_x;
+  for (OperandSpec& spec : req.operands) {
+    shipped.push_back(operand_wire_bytes(spec));
+    if (spec.n != cols) {
+      send_status(conn, header.request_id, StatusCode::kBadRequest,
+                  "operand length mismatch");
+      return;
+    }
+    switch (spec.mode) {
+      case OperandMode::kFull:
+        cur = std::make_shared<const std::vector<double>>(
+            std::move(spec.full));
+        break;
+      case OperandMode::kDelta: {
+        if (cur == nullptr || cur->size() != cols) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "delta without a matching cached vector");
+          return;
+        }
+        auto next = std::make_shared<std::vector<double>>(*cur);
+        if (!spmv::net::apply(spec.delta, *next)) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "inconsistent delta");
+          return;
+        }
+        cur = std::move(next);
+        break;
+      }
+      case OperandMode::kCached:
+        if (cur == nullptr || cur->size() != cols) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "no cached vector");
+          return;
+        }
+        break;
+    }
+    xs.push_back(cur);
+  }
+  slot.cached_x = cur;  // all items valid: publish the evolved cache
+  for (std::size_t i = 0; i < k; ++i) {
+    const OperandMode mode = req.operands[i].mode;
+    if (mode == OperandMode::kFull) {
+      slot.count_full_operand();
+    } else {
+      const std::uint64_t saved =
+          dense_bytes > shipped[i] ? dense_bytes - shipped[i] : 0;
+      if (mode == OperandMode::kDelta) {
+        slot.count_delta_operand(saved);
+      } else {
+        slot.count_cached_operand(saved);
+      }
+    }
+    slot.count_request();
+  }
+  // relaxed: statistics counter.
+  requests_.fetch_add(k, std::memory_order_relaxed);
+  slot.in_flight += k;
+
+  const auto now = Clock::now();
+  serve::SubmitOptions base;
+  if (req.deadline_us != 0) {
+    base.deadline = now + std::chrono::microseconds(req.deadline_us);
+  }
+  base.priority = req.priority;
+  const unsigned io_index = io.index;
+
+  auto make_op = [&](std::size_t i) {
+    auto op = std::make_shared<PendingOp>();
+    op->conn_id = conn.id;
+    op->request_id = header.request_id;
+    op->slot = conn.slot;
+    op->x = xs[i];
+    op->y.assign(rows, 0.0);  // engine semantics are y += A·x
+    op->started = now;
+    return op;
+  };
+
+  if (!batch) {
+    auto op = make_op(0);
+    conn.ops.emplace(header.request_id, op);
+    serve::SubmitOptions opts = base;
+    opts.on_complete = [this, io_index, op] {
+      Completion c;
+      c.conn_id = op->conn_id;
+      c.op = op;
+      post_completion(io_index, std::move(c));
+    };
+    auto handle = scheduler_.submit(
+        entry, std::span<const double>(*op->x), std::span<double>(op->y),
+        opts);
+    op->future = std::move(handle.future);
+    op->token = std::move(handle.token);
+    return;
+  }
+
+  auto bs = std::make_shared<BatchState>();
+  bs->conn_id = conn.id;
+  bs->request_id = header.request_id;
+  bs->slot = conn.slot;
+  bs->started = now;
+  // relaxed: published to the hooks via the submit calls below, which
+  // happen-after this store on this thread.
+  bs->remaining.store(k, std::memory_order_relaxed);
+  bs->items.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) bs->items.push_back(make_op(i));
+  conn.batches.emplace(header.request_id, bs);
+  for (std::size_t i = 0; i < k; ++i) {
+    auto& op = bs->items[i];
+    serve::SubmitOptions opts = base;
+    opts.on_complete = [this, io_index, bs] {
+      // acq_rel: each item's decrement releases its resolution; the
+      // decrementer that observes zero acquires all of them, so the
+      // batch posts with every item's outcome visible.
+      if (bs->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Completion c;
+        c.conn_id = bs->conn_id;
+        c.batch = bs;
+        post_completion(io_index, std::move(c));
+      }
+    };
+    auto handle = scheduler_.submit(
+        entry, std::span<const double>(*op->x), std::span<double>(op->y),
+        opts);
+    op->future = std::move(handle.future);
+    op->token = std::move(handle.token);
+  }
+}
+
+void SpmvServer::handle_cancel(Conn& conn, std::uint64_t request_id,
+                               std::span<const std::uint8_t> payload) {
+  CancelRequest req;
+  if (!decode_cancel(payload, req)) {
+    send_status(conn, request_id, StatusCode::kBadRequest,
+                "malformed CANCEL");
+    return;
+  }
+  bool known = false;
+  if (auto it = conn.ops.find(req.target_id); it != conn.ops.end()) {
+    known = true;
+    (void)it->second->token.cancel();
+  } else if (auto bit = conn.batches.find(req.target_id);
+             bit != conn.batches.end()) {
+    known = true;
+    for (auto& item : bit->second->items) (void)item->token.cancel();
+  }
+  // kOk acknowledges delivery, not outcome: the multiply itself answers
+  // kCancelled or its result, whichever won the race.
+  send_status(conn, request_id, known ? StatusCode::kOk : StatusCode::kNotFound,
+              known ? "cancel delivered" : "no such in-flight request");
+}
+
+void SpmvServer::handle_stats(Conn& conn, std::uint64_t request_id) {
+  StatsResult s;
+  const SessionStatsSnapshot ss = conn.slot->snapshot();
+  s.requests = ss.requests;
+  s.completed = ss.completed;
+  s.failed = ss.failed;
+  s.bytes_in = ss.bytes_in;
+  s.bytes_out = ss.bytes_out;
+  s.full_operands = ss.full_operands;
+  s.delta_operands = ss.delta_operands;
+  s.cached_operands = ss.cached_operands;
+  s.delta_bytes_saved = ss.delta_bytes_saved;
+  s.rpc_p50_us =
+      static_cast<std::uint64_t>(ss.rpc_latency.quantile_us(0.5));
+  s.rpc_p99_us =
+      static_cast<std::uint64_t>(ss.rpc_latency.quantile_us(0.99));
+  const serve::ServeStatsSnapshot sched = scheduler_.stats();
+  s.server_completed = sched.total_completed();
+  s.server_shed = sched.data_plane.requests_shed;
+  s.server_expired = sched.data_plane.requests_expired;
+  s.server_cancelled = sched.data_plane.requests_cancelled;
+  s.active_sessions = static_cast<std::uint32_t>(sessions_.active());
+  s.health_state = static_cast<std::uint8_t>(scheduler_.health());
+  s.ewma_queue_latency_us = scheduler_.overload_detector().ewma_latency_us();
+  send_frame(conn, FrameType::kStatsResult, request_id,
+             encode_stats_result(s));
+}
+
+void SpmvServer::handle_health(Conn& conn, std::uint64_t request_id) {
+  HealthResult h;
+  const serve::HealthState hs = scheduler_.health();
+  // acquire: pairs with stop()'s release store.
+  const bool draining = draining_.load(std::memory_order_acquire);
+  h.ready = (!draining && hs != serve::HealthState::kShedding) ? 1 : 0;
+  h.health_state = static_cast<std::uint8_t>(hs);
+  h.draining = draining ? 1 : 0;
+  h.stalled_dispatchers = scheduler_.watchdog().stalled_dispatchers();
+  send_frame(conn, FrameType::kHealthResult, request_id,
+             encode_health_result(h));
+}
+
+// ---------------------------------------------------------------------------
+// Completion path (I/O thread, fed by dispatcher hooks + control thread)
+
+StatusCode SpmvServer::op_status(PendingOp& op, std::string& message) {
+  try {
+    op.future.get();
+    return StatusCode::kOk;
+  } catch (const serve::ServeError& e) {
+    message = e.what();
+    switch (e.code()) {
+      case serve::ServeErrorCode::kUnknownMatrix:
+        return StatusCode::kUnknownMatrix;
+      case serve::ServeErrorCode::kInvalidOperand:
+        return StatusCode::kBadRequest;
+      case serve::ServeErrorCode::kQueueFull:
+        // Under kShed the scheduler's door reject IS admission control:
+        // surface it as SHED so clients can back off distinctly from a
+        // merely-full queue.
+        return config_.scheduler.overflow ==
+                       serve::SchedulerConfig::OverflowPolicy::kShed
+                   ? StatusCode::kShed
+                   : StatusCode::kBusy;
+      case serve::ServeErrorCode::kShutdown:
+        return StatusCode::kShutdown;
+      case serve::ServeErrorCode::kDeadlineExceeded:
+        return StatusCode::kDeadlineExceeded;
+      case serve::ServeErrorCode::kCancelled:
+        return StatusCode::kCancelled;
+    }
+    return StatusCode::kInternal;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return StatusCode::kInternal;
+  }
+}
+
+void SpmvServer::process_completion(IoThread& io, Completion&& c) {
+  auto it = io.conns.find(c.conn_id);
+  if (it == io.conns.end()) {
+    // The connection died while the request was in flight (disconnect
+    // cancels, but the dispatcher may already have claimed it).  The
+    // result has no recipient: drop exactly once, leak nothing — the
+    // records freed here were the last owners of the operand pins.
+    // relaxed: statistics counter.
+    completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Conn& conn = *it->second;
+
+  if (c.has_frame) {  // pre-encoded reply (upload result)
+    std::vector<std::uint8_t> frame = std::move(c.frame);
+    // relaxed: statistics counter.
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    conn.wq.push_back(std::move(frame));
+    flush_writes(conn);
+    return;
+  }
+
+  const auto now = Clock::now();
+  if (c.op != nullptr) {
+    conn.ops.erase(c.op->request_id);
+    ClientSlot& slot = *c.op->slot;
+    if (slot.in_flight > 0) --slot.in_flight;
+    std::string msg;
+    const StatusCode sc = op_status(*c.op, msg);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             c.op->started)
+            .count());
+    slot.count_outcome(sc == StatusCode::kOk, ns);
+    if (sc == StatusCode::kOk) {
+      MultiplyResult res;
+      res.y = std::move(c.op->y);
+      send_frame(conn, FrameType::kMultiplyResult, c.op->request_id,
+                 encode_multiply_result(res));
+    } else {
+      if (sc == StatusCode::kShed) {
+        // relaxed: statistics counter.
+        shed_replies_.fetch_add(1, std::memory_order_relaxed);
+      }
+      send_status(conn, c.op->request_id, sc, msg);
+    }
+    return;
+  }
+
+  BatchState& bs = *c.batch;
+  conn.batches.erase(bs.request_id);
+  ClientSlot& slot = *bs.slot;
+  const auto width = static_cast<std::uint32_t>(bs.items.size());
+  slot.in_flight = slot.in_flight > width ? slot.in_flight - width : 0;
+  MultiplyBatchResult res;
+  res.items.reserve(bs.items.size());
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - bs.started)
+          .count());
+  for (auto& item : bs.items) {
+    BatchItemResult out;
+    std::string msg;
+    out.status = op_status(*item, msg);
+    if (out.status == StatusCode::kOk) out.y = std::move(item->y);
+    if (out.status == StatusCode::kShed) {
+      // relaxed: statistics counter.
+      shed_replies_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.count_outcome(out.status == StatusCode::kOk, ns);
+    res.items.push_back(std::move(out));
+  }
+  send_frame(conn, FrameType::kMultiplyBatchResult, bs.request_id,
+             encode_multiply_batch_result(res));
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+
+void SpmvServer::send_frame(Conn& conn, FrameType type,
+                            std::uint64_t request_id,
+                            std::span<const std::uint8_t> payload) {
+  conn.wq.push_back(encode_frame(type, request_id, payload));
+  // relaxed: statistics counter.
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  flush_writes(conn);
+}
+
+void SpmvServer::send_status(Conn& conn, std::uint64_t request_id,
+                             StatusCode code, const std::string& message) {
+  StatusMsg msg;
+  msg.code = code;
+  msg.message = message;
+  send_frame(conn, FrameType::kStatus, request_id, encode_status(msg));
+}
+
+void SpmvServer::flush_writes(Conn& conn) {
+  while (!conn.wq.empty()) {
+    const std::vector<std::uint8_t>& front = conn.wq.front();
+    std::size_t chunk = front.size() - conn.wq_off;
+    if (SPMV_FAULT_POINT("net.partial_write")) {
+      chunk = 1;  // force the partial-write resume path
+    }
+    // MSG_NOSIGNAL: a peer that disconnected mid-reply must surface as
+    // EPIPE (-> kill + reap), not a process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(conn.fd, front.data() + conn.wq_off, chunk, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.wq_off += static_cast<std::size_t>(n);
+      // relaxed: statistics counter.
+      bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+      if (conn.slot) {
+        conn.slot->count_bytes_out(static_cast<std::uint64_t>(n));
+      }
+      if (conn.wq_off == front.size()) {
+        conn.wq.pop_front();
+        conn.wq_off = 0;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    conn.kill = true;  // broken pipe etc.: reap on the next loop pass
+    return;
+  }
+}
+
+void SpmvServer::close_conn(IoThread& io, std::uint64_t conn_id) {
+  auto it = io.conns.find(conn_id);
+  if (it == io.conns.end()) return;
+  Conn& conn = *it->second;
+  // Disconnect cancels everything in flight; whatever the cancel loses
+  // the race to still resolves, and its completion is dropped (counted)
+  // because the connection is no longer in the map.
+  for (auto& [id, op] : conn.ops) (void)op->token.cancel();
+  for (auto& [id, b] : conn.batches) {
+    for (auto& item : b->items) (void)item->token.cancel();
+  }
+  if (conn.slot != nullptr) sessions_.close(conn.slot->id);
+  ::close(conn.fd);
+  // relaxed: statistics gauge.
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  io.conns.erase(it);
+}
+
+void SpmvServer::reap_idle(IoThread& io) {
+  if (config_.idle_timeout.count() <= 0) return;
+  const auto now = Clock::now();
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, conn] : io.conns) {
+    if (conn->closing || conn->kill) continue;
+    if (!conn->ops.empty() || !conn->batches.empty()) continue;
+    if (now - conn->last_activity >= config_.idle_timeout) {
+      doomed.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : doomed) {
+    auto it = io.conns.find(id);
+    if (it == io.conns.end()) continue;
+    // relaxed: statistics counter.
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    send_frame(*it->second, FrameType::kGoodbye, 0, {});
+    close_conn(io, id);
+  }
+}
+
+}  // namespace spmv::net

@@ -1,0 +1,213 @@
+// Per-client session state for the network front-end.
+//
+// A session is 1:1 with a connection and lives from HELLO to disconnect.
+// Its *protocol* state — the cached operand vector deltas apply to, the
+// in-flight request count the quota bounds — is owned exclusively by the
+// I/O thread that owns the connection and is deliberately plain data: no
+// lock is ever taken on the frame-handling path.  Its *statistics* are
+// read cross-thread (STATS frames answer on the owning thread, but the
+// server-wide snapshot aggregates every session from whichever thread
+// asks), so counters are relaxed atomics and the latency histogram is the
+// serving plane's lock-free serve::LatencyHistogram.
+//
+// The cached operand is copy-on-write: applying a delta copies the
+// current vector, patches the copy, and republishes the shared_ptr.  Every
+// in-flight request pins the snapshot it was submitted with, so a later
+// delta can never mutate an operand mid-multiply — the same pin-the-
+// version discipline MatrixRegistry uses for plans.
+//
+// This header is on lint_concurrency.py's lock-free audit list: every
+// atomic operation states its memory_order and argues it in an adjacent
+// comment.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/serve_stats.h"
+#include "util/thread_annotations.h"
+
+namespace spmv::net {
+
+/// Plain-data export of one session's counters.
+struct SessionStatsSnapshot {
+  std::uint64_t id = 0;
+  std::uint64_t requests = 0;   ///< multiply/batch items accepted
+  std::uint64_t completed = 0;  ///< items resolved kOk
+  std::uint64_t failed = 0;     ///< items resolved with any error
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t full_operands = 0;
+  std::uint64_t delta_operands = 0;
+  std::uint64_t cached_operands = 0;
+  /// Σ (dense operand bytes − bytes actually shipped) over delta/cached
+  /// operands: what the delta encoding saved this session.
+  std::uint64_t delta_bytes_saved = 0;
+  serve::LatencyHistogram::Snapshot rpc_latency;  ///< receive → reply
+};
+
+/// One connected client's session.  Protocol state (public plain members)
+/// belongs to the owning I/O thread; counters may be read from any
+/// thread.
+class ClientSlot {
+ public:
+  ClientSlot(std::uint64_t id, std::uint32_t quota) : id(id), quota(quota) {}
+
+  ClientSlot(const ClientSlot&) = delete;
+  ClientSlot& operator=(const ClientSlot&) = delete;
+
+  const std::uint64_t id;
+  const std::uint32_t quota;  ///< max in-flight multiply items
+
+  // --- I/O-thread-owned protocol state (never touched cross-thread) ---
+  std::string client_name;
+  /// The session's cached operand vector.  Copy-on-write: delta/full
+  /// updates publish a fresh vector; in-flight requests keep pinning the
+  /// snapshot they were submitted with.
+  std::shared_ptr<const std::vector<double>> cached_x;
+  /// Multiply items currently in flight (admission: must stay <= quota).
+  std::uint32_t in_flight = 0;
+
+  // --- cross-thread counters ---
+  void count_request() {
+    // relaxed: independent statistics counter, no data published through it.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_outcome(bool ok, std::uint64_t rpc_ns) {
+    // relaxed: counters are aggregated by snapshot(), which tolerates the
+    // instantaneous skew of unordered increments.
+    (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    rpc_latency_.record_ns(rpc_ns);
+  }
+  void count_bytes_in(std::uint64_t n) {
+    // relaxed: statistics counter.
+    bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_bytes_out(std::uint64_t n) {
+    // relaxed: statistics counter.
+    bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_full_operand() {
+    // relaxed: statistics counter.
+    full_operands_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_delta_operand(std::uint64_t saved) {
+    // relaxed: statistics counters; totals read after the fact.
+    delta_operands_.fetch_add(1, std::memory_order_relaxed);
+    delta_bytes_saved_.fetch_add(saved, std::memory_order_relaxed);
+  }
+  void count_cached_operand(std::uint64_t saved) {
+    // relaxed: statistics counters.
+    cached_operands_.fetch_add(1, std::memory_order_relaxed);
+    delta_bytes_saved_.fetch_add(saved, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] SessionStatsSnapshot snapshot() const {
+    SessionStatsSnapshot s;
+    s.id = id;
+    // relaxed loads: a snapshot is advisory; counters are monotonic and
+    // each is internally consistent on its own.
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    // relaxed: same advisory-snapshot argument as above.
+    s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+    s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+    s.full_operands = full_operands_.load(std::memory_order_relaxed);
+    s.delta_operands = delta_operands_.load(std::memory_order_relaxed);
+    // relaxed: same advisory-snapshot argument as above.
+    s.cached_operands = cached_operands_.load(std::memory_order_relaxed);
+    s.delta_bytes_saved = delta_bytes_saved_.load(std::memory_order_relaxed);
+    s.rpc_latency = rpc_latency_.snapshot();
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> full_operands_{0};
+  std::atomic<std::uint64_t> delta_operands_{0};
+  std::atomic<std::uint64_t> cached_operands_{0};
+  std::atomic<std::uint64_t> delta_bytes_saved_{0};
+  serve::LatencyHistogram rpc_latency_;
+};
+
+/// Registry of live sessions: assigns ids, tracks the active set for the
+/// server-wide stats snapshot, and rolls a closing session's counters
+/// into cumulative totals so STATS never under-reports after churn.
+class SessionManager {
+ public:
+  [[nodiscard]] std::shared_ptr<ClientSlot> open(std::uint32_t quota)
+      SPMV_EXCLUDES(mutex_) {
+    // relaxed: the id only needs uniqueness, not ordering against other
+    // memory.
+    const std::uint64_t id =
+        next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<ClientSlot>(id, quota);
+    MutexLock lock(mutex_);
+    slots_.emplace(id, slot);
+    ++opened_;
+    return slot;
+  }
+
+  void close(std::uint64_t id) SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return;
+    const SessionStatsSnapshot s = it->second->snapshot();
+    retired_completed_ += s.completed;
+    retired_failed_ += s.failed;
+    retired_requests_ += s.requests;
+    slots_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t active() const SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return slots_.size();
+  }
+
+  /// Cumulative item totals: live sessions plus everything retired.
+  struct Totals {
+    std::uint64_t opened = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::size_t active = 0;
+  };
+  [[nodiscard]] Totals totals() const SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    Totals t;
+    t.opened = opened_;
+    t.requests = retired_requests_;
+    t.completed = retired_completed_;
+    t.failed = retired_failed_;
+    t.active = slots_.size();
+    for (const auto& [id, slot] : slots_) {
+      const SessionStatsSnapshot s = slot->snapshot();
+      t.requests += s.requests;
+      t.completed += s.completed;
+      t.failed += s.failed;
+    }
+    return t;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<ClientSlot>> slots_
+      SPMV_GUARDED_BY(mutex_);
+  std::uint64_t opened_ SPMV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retired_requests_ SPMV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retired_completed_ SPMV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t retired_failed_ SPMV_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace spmv::net

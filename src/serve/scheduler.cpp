@@ -132,10 +132,14 @@ SubmitHandle Scheduler::submit(const std::string& name,
   MatrixRegistry::EntryPtr entry = registry_.find(name);
   if (entry == nullptr) {
     stats_.record_unknown_matrix();
-    return SubmitHandle{
+    SubmitHandle handle{
         failed_future(ServeErrorCode::kUnknownMatrix,
                       "serve: no matrix registered as '" + name + "'"),
         CancelToken{}};
+    // The future is already resolved; the completion contract ("invoked
+    // exactly once, after resolution") holds for door failures too.
+    if (options.on_complete) options.on_complete();
+    return handle;
   }
   return submit(std::move(entry), x, y, options);
 }
@@ -172,8 +176,10 @@ std::future<void> Scheduler::do_submit(MatrixRegistry::EntryPtr entry,
         "dispatcher on the queue it is responsible for draining");
   }
   if (entry == nullptr) {
-    return failed_future(ServeErrorCode::kUnknownMatrix,
-                         "serve: null registry entry");
+    std::future<void> failed = failed_future(ServeErrorCode::kUnknownMatrix,
+                                             "serve: null registry entry");
+    if (options.on_complete) options.on_complete();
+    return failed;
   }
   std::shared_ptr<MatrixServeStats> cell = stats_.cell(entry->name);
   cell->requests_submitted.fetch_add(1, std::memory_order_relaxed);
@@ -181,7 +187,10 @@ std::future<void> Scheduler::do_submit(MatrixRegistry::EntryPtr entry,
     engine::validate_multiply_operands(entry->plan, x, y);
   } catch (const std::invalid_argument& e) {
     cell->requests_rejected.fetch_add(1, std::memory_order_relaxed);
-    return failed_future(ServeErrorCode::kInvalidOperand, e.what());
+    std::future<void> failed =
+        failed_future(ServeErrorCode::kInvalidOperand, e.what());
+    if (options.on_complete) options.on_complete();
+    return failed;
   }
 
   Request req;
@@ -191,6 +200,7 @@ std::future<void> Scheduler::do_submit(MatrixRegistry::EntryPtr entry,
   req.stats = std::move(cell);
   req.deadline = options.deadline;
   req.priority = options.priority;
+  req.on_complete = options.on_complete;
   if (token_out != nullptr) {
     req.cancel = std::make_shared<std::atomic<std::uint8_t>>(kCancelQueued);
     *token_out = CancelToken(req.cancel);
@@ -213,6 +223,7 @@ std::future<void> Scheduler::do_submit(MatrixRegistry::EntryPtr entry,
     req.stats->requests_rejected.fetch_add(1, std::memory_order_relaxed);
     req.promise.set_exception(
         std::make_exception_ptr(ServeError(code, what)));
+    if (req.on_complete) req.on_complete();
   };
 
   // Admission control.  Feed the overload detector a pre-push depth
@@ -642,6 +653,7 @@ void Scheduler::fail_request(Request& req, ServeErrorCode code,
                              const char* what) {
   req.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
   req.promise.set_exception(std::make_exception_ptr(ServeError(code, what)));
+  if (req.on_complete) req.on_complete();
 }
 
 void Scheduler::execute_batch(std::vector<Request> batch) {
@@ -687,12 +699,14 @@ void Scheduler::execute_batch(std::vector<Request> batch) {
       // snapshots stats must see its own completion.
       r.stats->requests_completed.fetch_add(1, std::memory_order_relaxed);
       r.promise.set_value();
+      if (r.on_complete) r.on_complete();
     }
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
     for (Request& r : batch) {
       r.stats->requests_failed.fetch_add(1, std::memory_order_relaxed);
       r.promise.set_exception(err);
+      if (r.on_complete) r.on_complete();
     }
   }
   inflight_.release(batch);

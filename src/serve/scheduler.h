@@ -67,6 +67,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <span>
@@ -173,6 +174,16 @@ struct SubmitOptions {
   /// Higher priority also wins batch keying when requests for several
   /// matrices are pending.  No effect under kBlock/kReject.
   int priority = 0;
+  /// Completion hook for event-driven callers (the network front-end's
+  /// I/O threads cannot block on a future).  Invoked exactly once, after
+  /// the request's future is resolved — with a value or a ServeError —
+  /// from whatever thread resolved it: the submitting thread for door
+  /// rejects, a dispatcher for executed/swept requests, the shutdown
+  /// thread for the final sweep.  The hook must be cheap and must not
+  /// block or call back into the scheduler (a dispatcher thread runs it).
+  /// Submits that throw (pool-worker / self-dispatcher fail-fast) created
+  /// no request and never invoke it.
+  std::function<void()> on_complete;
 };
 
 /// Handle to cancel one submitted request before it dispatches.  Cheap to
@@ -286,6 +297,8 @@ class Scheduler {
     /// kCancelQueued -> kCancelRequested (CancelToken::cancel) or
     /// -> kCancelClaimed (dispatcher, just before operand claim).
     std::shared_ptr<std::atomic<std::uint8_t>> cancel;
+    /// SubmitOptions::on_complete, fired once after the promise resolves.
+    std::function<void()> on_complete;
     bool stolen = false;  ///< popped from a shard its dispatcher doesn't own
   };
 

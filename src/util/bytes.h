@@ -1,0 +1,137 @@
+// Bounds-checked little-endian byte serialization for the wire protocol.
+//
+// ByteWriter appends into a growable buffer; ByteReader consumes a fixed
+// span and *never* reads past it — every get_* reports failure instead of
+// touching out-of-range memory, so frame decoders can be fed arbitrary
+// (fuzzed, truncated, adversarial) bytes and fail closed.  All integers
+// travel little-endian regardless of host order; doubles travel as the
+// little-endian bytes of their IEEE-754 bit pattern, so a value
+// round-trips bit-identically (NaN payloads and -0.0 included).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spmv {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void put_f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  void put_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Length-prefixed (u16) string; truncates past 64 KiB by contract —
+  /// callers validate names long before this.
+  void put_string(const std::string& s) {
+    const auto n = static_cast<std::uint16_t>(
+        s.size() > 0xFFFF ? 0xFFFF : s.size());
+    put_u16(n);
+    put_bytes(s.data(), n);
+  }
+
+  void put_f64_span(std::span<const double> v) {
+    for (const double x : v) put_f64(x);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  /// Mutable access for post-hoc header patching (CRC slots).
+  std::uint8_t* data() { return buf_.data(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  [[nodiscard]] bool get_u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool get_u16(std::uint16_t& v) { return get_le(v); }
+  [[nodiscard]] bool get_u32(std::uint32_t& v) { return get_le(v); }
+  [[nodiscard]] bool get_u64(std::uint64_t& v) { return get_le(v); }
+  [[nodiscard]] bool get_i32(std::int32_t& v) {
+    std::uint32_t u = 0;
+    if (!get_le(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+  [[nodiscard]] bool get_f64(double& v) {
+    std::uint64_t u = 0;
+    if (!get_le(u)) return false;
+    v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  [[nodiscard]] bool get_string(std::string& s) {
+    std::uint16_t n = 0;
+    if (!get_u16(n) || remaining() < n) return false;
+    s.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Read `count` doubles into `out` (appended).  The remaining-bytes
+  /// check happens BEFORE the allocation, so a forged count cannot drive
+  /// an unbounded reserve.
+  [[nodiscard]] bool get_f64_array(std::size_t count,
+                                   std::vector<double>& out) {
+    if (remaining() / sizeof(double) < count) return false;
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t u = 0;
+      (void)get_le(u);  // bounds pre-checked above
+      out.push_back(std::bit_cast<double>(u));
+    }
+    return true;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool get_le(T& v) {
+    if (remaining() < sizeof(T)) return false;
+    T out = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    v = out;
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spmv

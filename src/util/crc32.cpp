@@ -1,0 +1,65 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace spmv {
+
+namespace {
+
+/// 8 slicing tables: table[0] is the classic byte-at-a-time table, and
+/// table[k][b] extends a CRC by byte b followed by k zero bytes, which is
+/// what lets one iteration fold 8 input bytes.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Crc32Tables() {
+    constexpr std::uint32_t kPoly = 0xEDB88320u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? (c >> 1) ^ kPoly : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& tables() {
+  static const Crc32Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (n >= 8) {
+    // Fold 8 bytes per iteration: the low word XORs into the running CRC,
+    // the high word is fresh input; each byte picks the table that
+    // accounts for its distance from the end of the group.
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace spmv

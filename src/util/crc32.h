@@ -1,0 +1,23 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for wire-protocol
+// frame integrity.
+//
+// The network front-end checks every frame header (and payload) before
+// trusting any length or count it carries, so a corrupted or adversarial
+// byte stream is rejected before it can drive an allocation or an
+// out-of-bounds index.  Slicing-by-8 table lookup: ~1 byte/cycle without
+// any ISA extension, fast enough that checksumming never shows up next to
+// the memcpy it guards.  The tables are built once on first use (magic
+// static), so there is no global initialization order to reason about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spmv {
+
+/// CRC32 of `n` bytes at `data`.  `seed` chains incremental computation:
+/// crc32(ab) == crc32(b, crc32(a)).  Empty input with seed 0 returns 0.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+}  // namespace spmv

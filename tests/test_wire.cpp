@@ -1,0 +1,495 @@
+// Wire-protocol tests: every frame type round-trips bit-identically,
+// malformed input (truncated, oversized, corrupted, wrong version) is
+// rejected fail-closed, and a seeded random-bytes fuzz never crashes or
+// over-allocates — the suite CI runs under ASan/UBSan.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "net/delta.h"
+#include "util/crc32.h"
+
+namespace spmv::net {
+namespace {
+
+std::vector<std::uint8_t> frame_of(FrameType type, std::uint64_t id,
+                                   std::span<const std::uint8_t> payload) {
+  return encode_frame(type, id, payload);
+}
+
+ParseStatus parse(std::span<const std::uint8_t> buf, FrameHeader& h,
+                  std::span<const std::uint8_t>& payload,
+                  std::size_t& consumed,
+                  std::size_t max_payload = kMaxSanePayload) {
+  return parse_frame(buf, max_payload, h, payload, consumed);
+}
+
+TEST(WireFrame, EmptyPayloadRoundTrip) {
+  const auto f = frame_of(FrameType::kStats, 77, {});
+  ASSERT_EQ(f.size(), kHeaderSize);
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse(f, h, p, consumed), ParseStatus::kFrame);
+  EXPECT_EQ(h.type, FrameType::kStats);
+  EXPECT_EQ(h.request_id, 77u);
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(consumed, f.size());
+}
+
+TEST(WireFrame, NeedMoreOnEveryTruncation) {
+  std::vector<std::uint8_t> payload(100, 0xAB);
+  const auto f = frame_of(FrameType::kMultiply, 5, payload);
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  // Every proper prefix must ask for more bytes, never error, never parse.
+  for (std::size_t cut = 0; cut < f.size(); ++cut) {
+    const auto st =
+        parse(std::span(f.data(), cut), h, p, consumed);
+    EXPECT_EQ(st, ParseStatus::kNeedMore) << "cut=" << cut;
+  }
+  ASSERT_EQ(parse(f, h, p, consumed), ParseStatus::kFrame);
+  EXPECT_EQ(consumed, f.size());
+}
+
+TEST(WireFrame, BadMagicDetectedAtFourBytes) {
+  std::vector<std::uint8_t> buf = {'H', 'T', 'T', 'P'};
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse(buf, h, p, consumed), ParseStatus::kBadMagic);
+}
+
+TEST(WireFrame, HeaderCorruptionRejected) {
+  const auto good = frame_of(FrameType::kHealth, 9, {});
+  // Flip one bit in every header byte before the CRC field itself.
+  for (std::size_t i = 4; i < 24; ++i) {
+    auto bad = good;
+    bad[i] ^= 0x01;
+    FrameHeader h;
+    std::span<const std::uint8_t> p;
+    std::size_t consumed = 0;
+    const auto st = parse(bad, h, p, consumed);
+    EXPECT_EQ(st, ParseStatus::kBadHeaderCrc) << "byte=" << i;
+  }
+}
+
+TEST(WireFrame, WrongVersionRejected) {
+  auto f = frame_of(FrameType::kHello, 1, {});
+  f[4] = kWireVersion + 1;
+  // Re-seal the header CRC so the version check (not the CRC) fires.
+  const std::uint32_t crc = crc32(f.data(), 24);
+  std::memcpy(f.data() + 24, &crc, 4);
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse(f, h, p, consumed), ParseStatus::kBadVersion);
+}
+
+TEST(WireFrame, PayloadCorruptionRejectedButAddressable) {
+  std::vector<std::uint8_t> payload(64, 0x5A);
+  auto f = frame_of(FrameType::kMultiply, 1234, payload);
+  f[kHeaderSize + 10] ^= 0xFF;
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse(f, h, p, consumed), ParseStatus::kBadPayloadCrc);
+  // The header survived its own CRC: the server can still address the
+  // error reply to the request id.
+  EXPECT_EQ(h.request_id, 1234u);
+}
+
+TEST(WireFrame, OversizedRejectedBeforeBuffering) {
+  std::vector<std::uint8_t> payload(1024, 1);
+  const auto f = frame_of(FrameType::kUploadMatrix, 2, payload);
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  // Limit below the advertised payload: rejected from the header alone,
+  // even though the payload bytes are not present.
+  EXPECT_EQ(parse(std::span(f.data(), kHeaderSize), h, p, consumed, 512),
+            ParseStatus::kOversized);
+  EXPECT_EQ(h.request_id, 2u);
+}
+
+TEST(WireFrame, UnknownTypeRejected) {
+  auto f = frame_of(FrameType::kStats, 3, {});
+  f[5] = 0x7F;
+  const std::uint32_t crc = crc32(f.data(), 24);
+  std::memcpy(f.data() + 24, &crc, 4);
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse(f, h, p, consumed), ParseStatus::kUnknownType);
+}
+
+TEST(WireFrame, BackToBackFramesParseInOrder) {
+  auto a = frame_of(FrameType::kStats, 1, {});
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const auto b = frame_of(FrameType::kCancel, 2, payload);
+  a.insert(a.end(), b.begin(), b.end());
+  FrameHeader h;
+  std::span<const std::uint8_t> p;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse(a, h, p, consumed), ParseStatus::kFrame);
+  EXPECT_EQ(h.request_id, 1u);
+  a.erase(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(consumed));
+  ASSERT_EQ(parse(a, h, p, consumed), ParseStatus::kFrame);
+  EXPECT_EQ(h.request_id, 2u);
+  EXPECT_EQ(p.size(), 3u);
+}
+
+// --- payload codecs ---------------------------------------------------------
+
+TEST(WirePayload, HelloRoundTrip) {
+  HelloRequest in;
+  in.requested_quota = 64;
+  in.client_name = "solver-7";
+  HelloRequest out;
+  ASSERT_TRUE(decode_hello(encode_hello(in), out));
+  EXPECT_EQ(out.requested_quota, 64u);
+  EXPECT_EQ(out.client_name, "solver-7");
+
+  HelloOk ok_in;
+  ok_in.session_id = 99;
+  ok_in.quota = 32;
+  ok_in.max_payload = 1 << 20;
+  HelloOk ok_out;
+  ASSERT_TRUE(decode_hello_ok(encode_hello_ok(ok_in), ok_out));
+  EXPECT_EQ(ok_out.session_id, 99u);
+  EXPECT_EQ(ok_out.quota, 32u);
+  EXPECT_EQ(ok_out.max_payload, 1u << 20);
+}
+
+TEST(WirePayload, StatusRoundTrip) {
+  StatusMsg in;
+  in.code = StatusCode::kDeadlineExceeded;
+  in.message = "deadline passed before dispatch";
+  StatusMsg out;
+  ASSERT_TRUE(decode_status(encode_status(in), out));
+  EXPECT_EQ(out.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(out.message, in.message);
+}
+
+TEST(WirePayload, UploadRoundTrip) {
+  UploadMatrixRequest in;
+  in.name = "A";
+  in.rows = 3;
+  in.cols = 4;
+  in.row_ptr = {0, 2, 2, 5};
+  in.col_idx = {0, 3, 1, 2, 3};
+  in.values = {1.5, -2.0, 0.0, 4.25, 1e-300};
+  UploadMatrixRequest out;
+  ASSERT_TRUE(decode_upload(encode_upload(in), out));
+  EXPECT_EQ(out.name, "A");
+  EXPECT_EQ(out.rows, 3u);
+  EXPECT_EQ(out.cols, 4u);
+  EXPECT_EQ(out.row_ptr, in.row_ptr);
+  EXPECT_EQ(out.col_idx, in.col_idx);
+  EXPECT_EQ(out.values, in.values);
+}
+
+TEST(WirePayload, UploadLyingCountRejectedWithoutAllocation) {
+  UploadMatrixRequest in;
+  in.name = "A";
+  in.rows = 1;
+  in.cols = 1;
+  in.row_ptr = {0, 1};
+  in.col_idx = {0};
+  in.values = {1.0};
+  auto bytes = encode_upload(in);
+  // The values count lives right before the doubles; forge it huge.  The
+  // decoder must reject against remaining bytes, not trust the count.
+  const std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(bytes.data() + bytes.size() - 8 - 4, &huge, 4);
+  UploadMatrixRequest out;
+  EXPECT_FALSE(decode_upload(bytes, out));
+}
+
+TEST(WirePayload, MultiplyFullOperandRoundTrip) {
+  MultiplyRequest in;
+  in.name = "A";
+  in.deadline_us = 250000;
+  in.priority = -3;
+  OperandSpec spec;
+  spec.mode = OperandMode::kFull;
+  spec.n = 4;
+  spec.full = {1.0, -0.0, 3.5, std::numeric_limits<double>::infinity()};
+  in.operands.push_back(std::move(spec));
+  MultiplyRequest out;
+  ASSERT_TRUE(decode_multiply(encode_multiply(in), false, out));
+  EXPECT_EQ(out.name, "A");
+  EXPECT_EQ(out.deadline_us, 250000u);
+  EXPECT_EQ(out.priority, -3);
+  ASSERT_EQ(out.operands.size(), 1u);
+  EXPECT_EQ(out.operands[0].mode, OperandMode::kFull);
+  // Bit-identical including the -0.0.
+  EXPECT_EQ(std::memcmp(out.operands[0].full.data(),
+                        in.operands[0].full.data(), 4 * sizeof(double)),
+            0);
+}
+
+TEST(WirePayload, MultiplyBatchWithDeltaAndCachedRoundTrip) {
+  MultiplyRequest in;
+  in.name = "B";
+  OperandSpec full;
+  full.mode = OperandMode::kFull;
+  full.n = 8;
+  full.full.assign(8, 2.0);
+  OperandSpec delta;
+  delta.mode = OperandMode::kDelta;
+  delta.n = 8;
+  delta.delta.n = 8;
+  delta.delta.runs = {{1, 2}, {6, 1}};
+  delta.delta.values = {9.0, 10.0, 11.0};
+  OperandSpec cached;
+  cached.mode = OperandMode::kCached;
+  cached.n = 8;
+  in.operands.push_back(std::move(full));
+  in.operands.push_back(std::move(delta));
+  in.operands.push_back(std::move(cached));
+  MultiplyRequest out;
+  ASSERT_TRUE(decode_multiply(encode_multiply(in), true, out));
+  ASSERT_EQ(out.operands.size(), 3u);
+  EXPECT_EQ(out.operands[1].mode, OperandMode::kDelta);
+  ASSERT_EQ(out.operands[1].delta.runs.size(), 2u);
+  EXPECT_EQ(out.operands[1].delta.runs[0].start, 1u);
+  EXPECT_EQ(out.operands[1].delta.runs[1].count, 1u);
+  EXPECT_EQ(out.operands[1].delta.values.size(), 3u);
+  EXPECT_EQ(out.operands[2].mode, OperandMode::kCached);
+}
+
+TEST(WirePayload, MultiplyRejectsBatchArityOnSingleFrame) {
+  MultiplyRequest in;
+  in.name = "A";
+  OperandSpec s;
+  s.mode = OperandMode::kCached;
+  s.n = 4;
+  in.operands.push_back(s);
+  in.operands.push_back(s);
+  const auto bytes = encode_multiply(in);
+  MultiplyRequest out;
+  EXPECT_FALSE(decode_multiply(bytes, /*batch=*/false, out));
+  EXPECT_TRUE(decode_multiply(bytes, /*batch=*/true, out));
+}
+
+TEST(WirePayload, ResultsRoundTrip) {
+  MultiplyResult in;
+  in.y = {0.5, 1.5, -2.5};
+  MultiplyResult out;
+  ASSERT_TRUE(decode_multiply_result(encode_multiply_result(in), out));
+  EXPECT_EQ(out.y, in.y);
+
+  MultiplyBatchResult bin;
+  BatchItemResult ok;
+  ok.status = StatusCode::kOk;
+  ok.y = {1.0, 2.0};
+  BatchItemResult shed;
+  shed.status = StatusCode::kShed;
+  bin.items.push_back(std::move(ok));
+  bin.items.push_back(std::move(shed));
+  MultiplyBatchResult bout;
+  ASSERT_TRUE(
+      decode_multiply_batch_result(encode_multiply_batch_result(bin), bout));
+  ASSERT_EQ(bout.items.size(), 2u);
+  EXPECT_EQ(bout.items[0].status, StatusCode::kOk);
+  EXPECT_EQ(bout.items[0].y.size(), 2u);
+  EXPECT_EQ(bout.items[1].status, StatusCode::kShed);
+  EXPECT_TRUE(bout.items[1].y.empty());
+}
+
+TEST(WirePayload, StatsAndHealthRoundTrip) {
+  StatsResult in;
+  in.requests = 10;
+  in.delta_bytes_saved = 123456;
+  in.rpc_p99_us = 777;
+  in.active_sessions = 3;
+  in.health_state = 1;
+  StatsResult out;
+  ASSERT_TRUE(decode_stats_result(encode_stats_result(in), out));
+  EXPECT_EQ(out.requests, 10u);
+  EXPECT_EQ(out.delta_bytes_saved, 123456u);
+  EXPECT_EQ(out.rpc_p99_us, 777u);
+  EXPECT_EQ(out.active_sessions, 3u);
+  EXPECT_EQ(out.health_state, 1);
+
+  HealthResult hin;
+  hin.ready = 1;
+  hin.draining = 1;
+  hin.stalled_dispatchers = 2;
+  HealthResult hout;
+  ASSERT_TRUE(decode_health_result(encode_health_result(hin), hout));
+  EXPECT_EQ(hout.ready, 1);
+  EXPECT_EQ(hout.draining, 1);
+  EXPECT_EQ(hout.stalled_dispatchers, 2u);
+}
+
+TEST(WirePayload, CancelRoundTrip) {
+  CancelRequest in;
+  in.target_id = 0xDEADBEEFCAFEull;
+  CancelRequest out;
+  ASSERT_TRUE(decode_cancel(encode_cancel(in), out));
+  EXPECT_EQ(out.target_id, in.target_id);
+}
+
+TEST(WirePayload, TrailingGarbageRejected) {
+  auto bytes = encode_cancel(CancelRequest{42});
+  bytes.push_back(0);
+  CancelRequest out;
+  EXPECT_FALSE(decode_cancel(bytes, out));
+}
+
+// --- delta ------------------------------------------------------------------
+
+TEST(WireDelta, DiffApplyBitIdentical) {
+  std::vector<double> base(100, 1.0);
+  std::vector<double> next = base;
+  next[3] = 7.0;
+  next[4] = -0.0;  // bit change operator== would miss against +0.0
+  next[50] = std::nan("");
+  next[99] = 2.0;
+  const DeltaVec d = diff(base, next, /*merge_gap=*/1);
+  std::vector<double> x = base;
+  ASSERT_TRUE(spmv::net::apply(d, x));
+  EXPECT_EQ(std::memcmp(x.data(), next.data(), x.size() * sizeof(double)), 0);
+}
+
+TEST(WireDelta, UnchangedVectorIsEmptyDelta) {
+  std::vector<double> v(64, 3.25);
+  v[10] = std::nan("");  // NaN -> same NaN bit pattern: unchanged
+  const DeltaVec d = diff(v, v);
+  EXPECT_TRUE(d.runs.empty());
+  EXPECT_TRUE(d.values.empty());
+}
+
+TEST(WireDelta, MergeGapBridgesNearbyRuns) {
+  std::vector<double> base(32, 0.0);
+  std::vector<double> next = base;
+  next[4] = 1.0;
+  next[7] = 2.0;  // gap of 2 unchanged entries
+  const DeltaVec split = diff(base, next, /*merge_gap=*/1);
+  EXPECT_EQ(split.runs.size(), 2u);
+  const DeltaVec merged = diff(base, next, /*merge_gap=*/4);
+  ASSERT_EQ(merged.runs.size(), 1u);
+  EXPECT_EQ(merged.runs[0].start, 4u);
+  EXPECT_EQ(merged.runs[0].count, 4u);
+  std::vector<double> x = base;
+  ASSERT_TRUE(spmv::net::apply(merged, x));
+  EXPECT_EQ(x, next);
+}
+
+TEST(WireDelta, ForgedDeltaRejectedWithoutWriting) {
+  std::vector<double> x(10, 1.0);
+  const std::vector<double> orig = x;
+  DeltaVec oob;  // run past the end
+  oob.n = 10;
+  oob.runs = {{8, 4}};
+  oob.values = {1, 2, 3, 4};
+  EXPECT_FALSE(spmv::net::apply(oob, x));
+  EXPECT_EQ(x, orig);
+
+  DeltaVec overlap;
+  overlap.n = 10;
+  overlap.runs = {{2, 3}, {4, 2}};
+  overlap.values = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(spmv::net::apply(overlap, x));
+  EXPECT_EQ(x, orig);
+
+  DeltaVec short_values;
+  short_values.n = 10;
+  short_values.runs = {{0, 5}};
+  short_values.values = {1.0};
+  EXPECT_FALSE(spmv::net::apply(short_values, x));
+  EXPECT_EQ(x, orig);
+
+  DeltaVec wrong_len;
+  wrong_len.n = 11;
+  wrong_len.runs = {{0, 1}};
+  wrong_len.values = {1.0};
+  EXPECT_FALSE(spmv::net::apply(wrong_len, x));
+  EXPECT_EQ(x, orig);
+}
+
+// --- fuzz -------------------------------------------------------------------
+
+// Seeded random byte streams through the frame parser: whatever the
+// bytes, the parser must return a verdict without crashing, reading out
+// of bounds, or allocating from an unchecked count (ASan/UBSan gate).
+TEST(WireFuzz, RandomBytesNeverCrashParser) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 512);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> buf(len(rng));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(byte(rng));
+    FrameHeader h;
+    std::span<const std::uint8_t> p;
+    std::size_t consumed = 0;
+    (void)parse_frame(buf, 1 << 16, h, p, consumed);
+  }
+}
+
+// Corrupt valid frames at random offsets: the parser must reject (or,
+// when the flip lands in the payload of a frame whose CRCs were
+// re-sealed, still behave sanely) and the payload decoders must never
+// trust a forged count.
+TEST(WireFuzz, MutatedFramesNeverCrashDecoders) {
+  std::mt19937 rng(8080);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  MultiplyRequest req;
+  req.name = "fuzz";
+  OperandSpec spec;
+  spec.mode = OperandMode::kDelta;
+  spec.n = 16;
+  spec.delta.n = 16;
+  spec.delta.runs = {{0, 4}, {8, 2}};
+  spec.delta.values = {1, 2, 3, 4, 5, 6};
+  req.operands.push_back(std::move(spec));
+  const auto payload = encode_multiply(req);
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = payload;
+    std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+    for (int flips = 0; flips < 4; ++flips) {
+      mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    MultiplyRequest out;
+    (void)decode_multiply(mutated, false, out);
+    UploadMatrixRequest up;
+    (void)decode_upload(mutated, up);
+    StatsResult st;
+    (void)decode_stats_result(mutated, st);
+    MultiplyBatchResult br;
+    (void)decode_multiply_batch_result(mutated, br);
+  }
+}
+
+TEST(WireFuzz, RandomDeltasNeverCorrupt) {
+  std::mt19937 rng(31415);
+  std::uniform_int_distribution<std::uint32_t> u32(0, 64);
+  for (int iter = 0; iter < 2000; ++iter) {
+    DeltaVec d;
+    d.n = u32(rng);
+    const std::uint32_t nruns = u32(rng) % 8;
+    for (std::uint32_t i = 0; i < nruns; ++i) {
+      d.runs.push_back({u32(rng), u32(rng)});
+    }
+    d.values.assign(u32(rng), 1.0);
+    std::vector<double> x(32, 0.5);
+    const std::vector<double> orig = x;
+    if (!spmv::net::apply(d, x)) {
+      // Rejected deltas must leave the vector untouched.
+      EXPECT_EQ(x, orig);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spmv::net

@@ -50,6 +50,8 @@ THREAD_FILES = WRAPPER_FILES | {
     "src/serve/scheduler.cpp",
     "src/serve/health.h",      # watchdog probe thread, joined in stop()
     "src/serve/health.cpp",
+    "src/net/server.h",        # I/O + upload threads, joined in stop()
+    "src/net/server.cpp",
 }
 
 # Lock-free algorithm files: every atomic operation (any order) must argue
@@ -65,6 +67,9 @@ LOCKFREE_FILES = {
     # counters: sampled from the submit fast path, mutated lock-free.
     "src/serve/health.h",
     "src/serve/health.cpp",
+    # Per-session slots are mutated from an I/O thread while stats snapshots
+    # read them from arbitrary threads; each field's order is the contract.
+    "src/net/session.h",
 }
 
 RAW_PRIMITIVES = re.compile(
