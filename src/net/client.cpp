@@ -40,6 +40,7 @@ SpmvNetClient::~SpmvNetClient() {
 
 void SpmvNetClient::connect() {
   if (fd_ >= 0) throw std::logic_error("client already connected");
+  server_goodbye_ = false;
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw std::runtime_error("client: socket() failed");
 
@@ -92,6 +93,14 @@ void SpmvNetClient::close() {
   fd_ = -1;
   rdbuf_.clear();
   pending_.clear();
+  // The session — and with it the server-side operand cache the shadow
+  // mirrors — died with the connection.  A reconnected client must ship a
+  // full operand first, not a delta against a cache the new session
+  // never had.
+  shadow_x_.clear();
+  have_shadow_ = false;
+  session_id_ = 0;
+  quota_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -232,6 +241,7 @@ SpmvNetClient::BatchResult SpmvNetClient::multiply_batch(
     if (!decode_multiply_batch_result(reply.second, res)) {
       out.status = StatusCode::kProtocolError;
       out.message = "malformed MULTIPLY_BATCH_RESULT";
+      note_reply_status(out.status);
       return out;
     }
     out.items = std::move(res.items);
@@ -246,13 +256,29 @@ SpmvNetClient::BatchResult SpmvNetClient::multiply_batch(
     out.status = StatusCode::kProtocolError;
     out.message = "unexpected reply frame";
   }
+  note_reply_status(out.status);
   return out;
+}
+
+void SpmvNetClient::note_reply_status(StatusCode code) {
+  // kBadRequest and kProtocolError are the rejections the server issues
+  // WITHOUT applying the request's operands to its session cache (every
+  // other outcome — quota, unknown matrix, shed, deadline, shutdown —
+  // applies them first, mirroring this shadow's unconditional update at
+  // send time).  Drop the shadow so the next operand ships full instead
+  // of a delta against a base the server no longer agrees on; resync
+  // costs one dense send.
+  if (code == StatusCode::kBadRequest || code == StatusCode::kProtocolError) {
+    have_shadow_ = false;
+  }
 }
 
 SpmvNetClient::Result SpmvNetClient::await(std::uint64_t request_id) {
   try {
     auto [type, payload] = await_frame(request_id);
-    return to_result(type, payload);
+    Result r = to_result(type, payload);
+    note_reply_status(r.status);
+    return r;
   } catch (const std::exception& e) {
     Result r;
     r.status = StatusCode::kConnectionLost;

@@ -9,8 +9,13 @@
 // copy of the last vector sent and, in DeltaMode::kAuto, encodes each new
 // operand as whichever of {cached (identical), delta (cheaper than
 // dense), full} costs the fewest wire bytes.  The shadow evolves exactly
-// like the server's session cache, including across batch items, so the
-// two can never disagree about what a delta applies to.
+// like the server's session cache, including across batch items and
+// across rejected requests (the server applies any structurally valid
+// operand sequence to the cache even when it refuses the multiply), so
+// the two can never disagree about what a delta applies to.  The two
+// cases where the server does NOT apply — kBadRequest / kProtocolError —
+// drop the shadow, resyncing with one full send; close() drops it too,
+// since the session cache dies with the connection.
 //
 // Request/response calls (`multiply`, `upload`, ...) are synchronous.
 // `begin_multiply` + `await` expose the protocol's pipelining: many
@@ -62,7 +67,9 @@ class SpmvNetClient {
   void connect();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   /// Close the socket without the GOODBYE exchange (tests use this to
-  /// exercise the server's disconnect-cancels-in-flight path).
+  /// exercise the server's disconnect-cancels-in-flight path).  Resets
+  /// all session state — shadow vector included — so a later connect()
+  /// starts its new session with a full operand send.
   void close();
 
   [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
@@ -137,6 +144,11 @@ class SpmvNetClient {
   /// Encode x per delta_mode against the shadow, update the shadow, and
   /// account the wire cost.
   OperandSpec make_operand(std::span<const double> x);
+  /// Keep the shadow honest against the server's cache rule: replies the
+  /// server issues without applying the request's operands
+  /// (kBadRequest/kProtocolError) drop the shadow so the next operand
+  /// ships full.
+  void note_reply_status(StatusCode code);
   void send_frame(FrameType type, std::uint64_t request_id,
                   std::span<const std::uint8_t> payload);
   void send_all(const std::uint8_t* data, std::size_t n);

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -369,7 +370,13 @@ void SpmvServer::io_loop(unsigned index) {
       it = io.conns.find(ids[i]);
       if (it == io.conns.end()) continue;
       if ((pfds[i].revents & POLLOUT) != 0) flush_writes(*it->second);
-      if ((pfds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+      // POLLHUP without POLLIN would otherwise make poll() return
+      // immediately every iteration with no handler running (a half-
+      // closed peer busy-spins the thread); with POLLIN pending the read
+      // path drains the data and sees EOF itself.
+      if ((pfds[i].revents & (POLLERR | POLLNVAL)) != 0 ||
+          ((pfds[i].revents & POLLHUP) != 0 &&
+           (pfds[i].revents & POLLIN) == 0)) {
         it->second->kill = true;
       }
       Conn& c2 = *it->second;
@@ -402,9 +409,15 @@ void SpmvServer::io_loop(unsigned index) {
     if (!pending || Clock::now() >= flush_deadline) break;
     if (::poll(pfds.data(), pfds.size(), 50) < 0 && errno != EINTR) break;
     for (std::size_t i = 0; i < pfds.size(); ++i) {
-      if ((pfds[i].revents & POLLOUT) == 0) continue;
       auto it = io.conns.find(ids[i]);
-      if (it != io.conns.end()) flush_writes(*it->second);
+      if (it == io.conns.end()) continue;
+      // A peer that died mid-flush cannot take its bytes: give up on it
+      // rather than spin on POLLHUP until the grace deadline.
+      if ((pfds[i].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
+        it->second->kill = true;
+        continue;
+      }
+      if ((pfds[i].revents & POLLOUT) != 0) flush_writes(*it->second);
     }
   }
   while (!io.conns.empty()) close_conn(io, io.conns.begin()->first);
@@ -639,19 +652,74 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
                                  const FrameHeader& header, bool batch,
                                  std::span<const std::uint8_t> payload) {
   MultiplyRequest req;
-  if (!decode_multiply(payload, batch, req)) {
+  if (!decode_multiply(payload, batch, req,
+                       std::max<std::uint32_t>(1, config_.max_quota))) {
     send_status(conn, header.request_id, StatusCode::kBadRequest,
                 "malformed MULTIPLY");
     return;
   }
+  ClientSlot& slot = *conn.slot;
+  const auto k = static_cast<std::uint32_t>(req.operands.size());
+
+  // Resolve every operand to a pinned snapshot BEFORE submitting or
+  // publishing anything: a structurally bad item rejects the whole
+  // request and leaves the session cache untouched.  Deltas chain — item
+  // i patches item i-1's vector (copy-on-write, so snapshots already
+  // pinned by earlier requests are never mutated).
+  std::vector<std::shared_ptr<const std::vector<double>>> xs;
+  std::vector<std::uint64_t> shipped;
+  xs.reserve(k);
+  shipped.reserve(k);
+  std::shared_ptr<const std::vector<double>> cur = slot.cached_x;
+  for (OperandSpec& spec : req.operands) {
+    shipped.push_back(operand_wire_bytes(spec));
+    switch (spec.mode) {
+      case OperandMode::kFull:
+        cur = std::make_shared<const std::vector<double>>(
+            std::move(spec.full));
+        break;
+      case OperandMode::kDelta: {
+        if (cur == nullptr || cur->size() != spec.n) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "delta without a matching cached vector");
+          return;
+        }
+        auto next = std::make_shared<std::vector<double>>(*cur);
+        if (!spmv::net::apply(spec.delta, *next)) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "inconsistent delta");
+          return;
+        }
+        cur = std::move(next);
+        break;
+      }
+      case OperandMode::kCached:
+        if (cur == nullptr || cur->size() != spec.n) {
+          send_status(conn, header.request_id, StatusCode::kBadRequest,
+                      "no cached vector");
+          return;
+        }
+        break;
+    }
+    xs.push_back(cur);
+  }
+  // Publish the evolved cache BEFORE any admission check.  The client's
+  // shadow advances unconditionally the moment it ships the frame, so the
+  // cache rule must be identical on both sides: a structurally valid
+  // operand sequence always applies, even when the request is then
+  // rejected (draining, duplicate id, quota, unknown matrix, wrong
+  // length) — otherwise a pipelined client whose request was refused
+  // would have every later delta silently patch a stale base.  The
+  // client mirrors the structural-failure case by dropping its shadow on
+  // kBadRequest/kProtocolError replies.
+  slot.cached_x = cur;
+
   // acquire: pairs with stop()'s release; draining admits nothing new.
   if (draining_.load(std::memory_order_acquire)) {
     send_status(conn, header.request_id, StatusCode::kShutdown,
                 "server draining");
     return;
   }
-  ClientSlot& slot = *conn.slot;
-  const auto k = static_cast<std::uint32_t>(req.operands.size());
   if (conn.ops.count(header.request_id) != 0 ||
       conn.batches.count(header.request_id) != 0) {
     send_status(conn, header.request_id, StatusCode::kBadRequest,
@@ -673,55 +741,13 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   const std::uint32_t cols = entry->plan.cols();
   const std::uint64_t dense_bytes =
       static_cast<std::uint64_t>(cols) * sizeof(double);
-
-  // Resolve every operand to a pinned snapshot BEFORE submitting or
-  // publishing anything: a bad item rejects the whole request and leaves
-  // the session cache untouched.  Deltas chain — item i patches item
-  // i-1's vector (copy-on-write, so snapshots already pinned by earlier
-  // requests are never mutated).
-  std::vector<std::shared_ptr<const std::vector<double>>> xs;
-  std::vector<std::uint64_t> shipped;
-  xs.reserve(k);
-  shipped.reserve(k);
-  std::shared_ptr<const std::vector<double>> cur = slot.cached_x;
-  for (OperandSpec& spec : req.operands) {
-    shipped.push_back(operand_wire_bytes(spec));
-    if (spec.n != cols) {
+  for (const auto& x : xs) {
+    if (x->size() != cols) {
       send_status(conn, header.request_id, StatusCode::kBadRequest,
                   "operand length mismatch");
       return;
     }
-    switch (spec.mode) {
-      case OperandMode::kFull:
-        cur = std::make_shared<const std::vector<double>>(
-            std::move(spec.full));
-        break;
-      case OperandMode::kDelta: {
-        if (cur == nullptr || cur->size() != cols) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "delta without a matching cached vector");
-          return;
-        }
-        auto next = std::make_shared<std::vector<double>>(*cur);
-        if (!spmv::net::apply(spec.delta, *next)) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "inconsistent delta");
-          return;
-        }
-        cur = std::move(next);
-        break;
-      }
-      case OperandMode::kCached:
-        if (cur == nullptr || cur->size() != cols) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "no cached vector");
-          return;
-        }
-        break;
-    }
-    xs.push_back(cur);
   }
-  slot.cached_x = cur;  // all items valid: publish the evolved cache
   for (std::size_t i = 0; i < k; ++i) {
     const OperandMode mode = req.operands[i].mode;
     if (mode == OperandMode::kFull) {
@@ -992,7 +1018,18 @@ void SpmvServer::process_completion(IoThread& io, Completion&& c) {
 void SpmvServer::send_frame(Conn& conn, FrameType type,
                             std::uint64_t request_id,
                             std::span<const std::uint8_t> payload) {
-  conn.wq.push_back(encode_frame(type, request_id, payload));
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = encode_frame(type, request_id, payload);
+  } catch (const std::length_error&) {
+    // A reply too large for the wire format cannot be represented; drop
+    // the connection rather than let the exception escape the I/O loop.
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn.kill = true;
+    return;
+  }
+  conn.wq.push_back(std::move(frame));
   // relaxed: statistics counter.
   responses_.fetch_add(1, std::memory_order_relaxed);
   flush_writes(conn);

@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <stdexcept>
+
 #include "util/crc32.h"
 
 namespace spmv::net {
@@ -142,6 +144,9 @@ ParseStatus parse_frame(std::span<const std::uint8_t> buf,
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        std::uint64_t request_id,
                                        std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxSanePayload) {
+    throw std::length_error("encode_frame: payload exceeds protocol limit");
+  }
   ByteWriter w(kHeaderSize + payload.size());
   w.put_u32(kMagic);
   w.put_u8(kWireVersion);
@@ -341,7 +346,7 @@ std::vector<std::uint8_t> encode_multiply(const MultiplyRequest& r) {
 }
 
 bool decode_multiply(std::span<const std::uint8_t> p, bool batch,
-                     MultiplyRequest& out) {
+                     MultiplyRequest& out, std::uint32_t max_operands) {
   ByteReader r(p);
   std::uint32_t count = 0;
   if (!r.get_string(out.name) || !r.get_u64(out.deadline_us) ||
@@ -349,6 +354,10 @@ bool decode_multiply(std::span<const std::uint8_t> p, bool batch,
     return false;
   }
   if (count == 0 || (!batch && count != 1)) return false;
+  // The hard cap comes first: each OperandSpec is ~90 bytes of C++
+  // object, so even a count the 5-byte-per-operand check below would
+  // admit can demand a resize orders of magnitude larger than the frame.
+  if (count > max_operands) return false;
   // Each operand costs >= 5 encoded bytes (mode + n), bounding the count
   // by what the payload can actually hold.
   if (r.remaining() / 5 < count) return false;

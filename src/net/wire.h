@@ -50,6 +50,14 @@ inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 28;
 /// Absolute payload sanity cap; ServerConfig/ClientOptions clamp below it.
 inline constexpr std::size_t kMaxSanePayload = std::size_t{1} << 30;
+/// Decode-time ceiling on MULTIPLY/MULTIPLY_BATCH operand counts when the
+/// caller passes no tighter bound.  The count is also validated against
+/// the bytes actually present, but an operand can encode in as little as
+/// 5 bytes, so without a cap one max-payload frame of kCached operands
+/// could force a multi-GiB transient OperandSpec allocation before any
+/// application-level admission check runs.  Servers pass their
+/// ServerConfig::max_quota instead — any admissible request satisfies it.
+inline constexpr std::uint32_t kMaxMultiplyOperands = 4096;
 
 enum class FrameType : std::uint8_t {
   // client -> server
@@ -128,6 +136,10 @@ enum class ParseStatus : std::uint8_t {
                                       std::size_t& consumed);
 
 /// Assemble a complete frame (header CRCs filled in) around `payload`.
+/// Throws std::length_error when the payload exceeds kMaxSanePayload: the
+/// 32-bit length field cannot carry it, and truncating would emit a
+/// self-consistent header that disagrees with the bytes behind it,
+/// desynchronizing the stream with a confusing CRC/magic error far away.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
     FrameType type, std::uint64_t request_id,
     std::span<const std::uint8_t> payload);
@@ -263,8 +275,11 @@ struct HealthResult {
                                  StatusMsg& out);
 [[nodiscard]] bool decode_upload(std::span<const std::uint8_t> p,
                                  UploadMatrixRequest& out);
-[[nodiscard]] bool decode_multiply(std::span<const std::uint8_t> p,
-                                   bool batch, MultiplyRequest& out);
+/// `max_operands` bounds the operand count before anything is sized from
+/// it (see kMaxMultiplyOperands); counts above it decode as malformed.
+[[nodiscard]] bool decode_multiply(
+    std::span<const std::uint8_t> p, bool batch, MultiplyRequest& out,
+    std::uint32_t max_operands = kMaxMultiplyOperands);
 [[nodiscard]] bool decode_multiply_result(std::span<const std::uint8_t> p,
                                           MultiplyResult& out);
 [[nodiscard]] bool decode_multiply_batch_result(

@@ -327,6 +327,60 @@ TEST(NetLoopback, QuotaExceededAnswered) {
   EXPECT_EQ(loop.client->multiply_cached("A").status, StatusCode::kOk);
 }
 
+// Regression: a rejected multiply must leave the client shadow and the
+// server's session cache in agreement.  The server applies a structurally
+// valid operand sequence to the cache even when it refuses the request
+// (here: over quota while pipelining), so the next delta still patches
+// the base the client diffed against — without that, the server would
+// answer kOk with silently wrong y forever after.
+TEST(NetLoopback, RejectedMultiplyKeepsCacheInSync) {
+  ServerConfig cfg;
+  cfg.scheduler.start_paused = true;
+  ClientOptions copts;
+  copts.requested_quota = 1;
+  Loop loop(cfg, 257, copts);
+  auto x = random_x(loop.m.n, 20);
+  const auto a = loop.client->begin_multiply("A", x);  // fills the quota
+  x[3] += 1.0;
+  // Pipelined past the quota: rejected, but its delta advanced both the
+  // shadow (at send) and the server cache (at admission).
+  const auto b = loop.client->begin_multiply("A", x);
+  loop.server.scheduler().resume();
+  ASSERT_EQ(loop.client->await(a).status, StatusCode::kOk);
+  ASSERT_EQ(loop.client->await(b).status, StatusCode::kQuotaExceeded);
+  x[200] += 2.0;
+  const auto r = loop.client->multiply("A", x);
+  ASSERT_EQ(r.status, StatusCode::kOk) << r.message;
+  EXPECT_GE(loop.client->counters().delta_operands, 2u);
+  const auto want = reference(loop.m, x);
+  ASSERT_EQ(r.y.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(r.y[i], want[i], 1e-12) << "i=" << i;
+  }
+}
+
+// Regression: close() must drop the shadow with the rest of the session
+// state — the new session after a reconnect has no server-side cache, so
+// the first operand must ship full, not delta/cached.
+TEST(NetLoopback, ReconnectShipsFullOperand) {
+  Loop loop;
+  auto x = random_x(loop.m.n, 21);
+  ASSERT_EQ(loop.client->multiply("A", x).status, StatusCode::kOk);
+  loop.client->close();
+  EXPECT_FALSE(loop.client->connected());
+  EXPECT_EQ(loop.client->session_id(), 0u);
+  loop.client->connect();
+  x[7] += 1.0;  // would encode as a tiny delta if the shadow survived
+  const auto r = loop.client->multiply("A", x);
+  ASSERT_EQ(r.status, StatusCode::kOk) << r.message;
+  EXPECT_EQ(loop.client->counters().full_operands, 2u);
+  EXPECT_EQ(loop.client->counters().delta_operands, 0u);
+  const auto want = reference(loop.m, x);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(r.y[i], want[i], 1e-12) << "i=" << i;
+  }
+}
+
 // Drain shutdown: every request in flight when stop() begins is answered
 // before the listener closes — none lost, none reset.
 TEST(NetLoopback, DrainAnswersAllInFlight) {

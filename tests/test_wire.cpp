@@ -279,6 +279,29 @@ TEST(WirePayload, MultiplyRejectsBatchArityOnSingleFrame) {
   EXPECT_TRUE(decode_multiply(bytes, /*batch=*/true, out));
 }
 
+TEST(WirePayload, OperandCountCapRejectsFloods) {
+  // kCached operands encode in 5 bytes, so a modest frame can advertise a
+  // count whose OperandSpec resize is orders of magnitude larger than the
+  // payload; the decode-time cap must reject it before anything is sized.
+  OperandSpec s;
+  s.mode = OperandMode::kCached;
+  s.n = 4;
+  MultiplyRequest in;
+  in.name = "A";
+  in.operands.assign(kMaxMultiplyOperands + 1, s);
+  MultiplyRequest out;
+  EXPECT_FALSE(decode_multiply(encode_multiply(in), /*batch=*/true, out));
+
+  // A caller-supplied tighter bound (the server passes its max_quota,
+  // which any admissible request satisfies) wins over the default.
+  MultiplyRequest small;
+  small.name = "A";
+  small.operands.assign(3, s);
+  const auto bytes = encode_multiply(small);
+  EXPECT_FALSE(decode_multiply(bytes, /*batch=*/true, out, /*max_operands=*/2));
+  EXPECT_TRUE(decode_multiply(bytes, /*batch=*/true, out, /*max_operands=*/3));
+}
+
 TEST(WirePayload, ResultsRoundTrip) {
   MultiplyResult in;
   in.y = {0.5, 1.5, -2.5};
