@@ -3,33 +3,29 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace spmv::net {
 
-namespace {
-
-timeval to_timeval(std::chrono::milliseconds ms) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
-  return tv;
-}
-
-}  // namespace
-
 SpmvNetClient::SpmvNetClient(ClientOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      backoff_(options_.retry.backoff_base, options_.retry.backoff_cap,
+               options_.retry.seed),
+      breaker_(options_.retry.breaker_threshold,
+               options_.retry.breaker_cooldown) {}
 
 SpmvNetClient::~SpmvNetClient() {
   if (fd_ >= 0) {
     try {
+      io_deadline_ = Clock::now() + options_.timeout;
       send_frame(FrameType::kGoodbye, next_request_id_++, {});
     } catch (...) {
       // Best-effort farewell; the socket close below is what matters.
@@ -39,14 +35,19 @@ SpmvNetClient::~SpmvNetClient() {
 }
 
 void SpmvNetClient::connect() {
+  connect_internal(Clock::now() + options_.timeout);
+}
+
+void SpmvNetClient::connect_internal(Clock::time_point deadline) {
   if (fd_ >= 0) throw std::logic_error("client already connected");
   server_goodbye_ = false;
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  last_resumed_ = false;
+  io_deadline_ = deadline;
+  // Non-blocking from birth: every wait below goes through wait_io(), so
+  // the whole connect + handshake shares one cumulative deadline.
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) throw std::runtime_error("client: socket() failed");
 
-  const timeval tv = to_timeval(options_.timeout);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -58,14 +59,30 @@ void SpmvNetClient::connect() {
     throw std::runtime_error("client: bad host '" + options_.host + "'");
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string err = std::strerror(errno);
-    close();
-    throw std::runtime_error("client: connect failed: " + err);
+    if (errno != EINPROGRESS) {
+      const std::string err = std::strerror(errno);
+      close();
+      throw std::runtime_error("client: connect failed: " + err);
+    }
+    wait_io(POLLOUT);
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      const std::string err = std::strerror(soerr != 0 ? soerr : errno);
+      close();
+      throw std::runtime_error("client: connect failed: " + err);
+    }
   }
 
   HelloRequest hello;
   hello.requested_quota = options_.requested_quota;
   hello.client_name = options_.client_name;
+  // Offer the previous session for resumption; the server either restores
+  // it (quota, replay window, in-flight work) or opens a fresh one.
+  hello.resume_session_id = resume_session_id_;
+  hello.resume_token = resume_token_;
+  const bool offered_resume = resume_session_id_ != 0;
   const std::uint64_t id = next_request_id_++;
   send_frame(FrameType::kHello, id, encode_hello(hello));
   auto [type, payload] = await_frame(id);
@@ -77,6 +94,18 @@ void SpmvNetClient::connect() {
     }
     session_id_ = ok.session_id;
     quota_ = ok.quota;
+    resume_session_id_ = ok.session_id;
+    resume_token_ = ok.resume_token;
+    last_resumed_ = ok.resumed != 0;
+    if (ever_connected_) ++counters_.reconnects;
+    ever_connected_ = true;
+    if (offered_resume) {
+      if (last_resumed_) {
+        ++counters_.resumes;
+      } else {
+        ++counters_.resume_rejected;
+      }
+    }
     return;
   }
   StatusMsg status;
@@ -93,14 +122,16 @@ void SpmvNetClient::close() {
   fd_ = -1;
   rdbuf_.clear();
   pending_.clear();
-  // The session — and with it the server-side operand cache the shadow
-  // mirrors — died with the connection.  A reconnected client must ship a
-  // full operand first, not a delta against a cache the new session
-  // never had.
+  // The session cache the shadow mirrors is not carried across a
+  // reconnect — resumption restores the session but deliberately clears
+  // its cached vector — so a reconnected client must ship a full operand
+  // first, not a delta against a base the new connection never had.
   shadow_x_.clear();
   have_shadow_ = false;
   session_id_ = 0;
   quota_ = 0;
+  // resume_session_id_/resume_token_ survive on purpose: they are the
+  // identity connect() offers to get the session back.
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +181,20 @@ OperandSpec SpmvNetClient::make_operand(std::span<const double> x) {
   return spec;
 }
 
+OperandSpec SpmvNetClient::full_operand(const std::vector<double>& x) {
+  // Retransmissions ship dense and leave the shadow untouched — they are
+  // cache-neutral on both sides by the protocol's retransmission rule
+  // (the server never re-applies a replayed id's operands either).
+  OperandSpec spec;
+  spec.mode = OperandMode::kFull;
+  spec.n = static_cast<std::uint32_t>(x.size());
+  spec.full = x;
+  counters_.operand_bytes_sent += operand_wire_bytes(spec);
+  counters_.operand_bytes_dense += static_cast<std::uint64_t>(x.size()) * 8;
+  ++counters_.full_operands;
+  return spec;
+}
+
 // ---------------------------------------------------------------------------
 // Request/response
 
@@ -165,6 +210,7 @@ SpmvNetClient::Result SpmvNetClient::upload(
   req.col_idx = std::move(col_idx);
   req.values = std::move(values);
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = ladder_deadline();
   send_frame(FrameType::kUploadMatrix, id, encode_upload(req));
   auto [type, payload] = await_frame(id);
   return to_result(type, payload);
@@ -180,6 +226,7 @@ std::uint64_t SpmvNetClient::begin_multiply(const std::string& name,
   req.priority = priority;
   req.operands.push_back(make_operand(x));
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = Clock::now() + options_.timeout;
   send_frame(FrameType::kMultiply, id, encode_multiply(req));
   return id;
 }
@@ -188,7 +235,11 @@ SpmvNetClient::Result SpmvNetClient::multiply(const std::string& name,
                                               std::span<const double> x,
                                               std::uint64_t deadline_us,
                                               std::int32_t priority) {
-  return await(begin_multiply(name, x, deadline_us, priority));
+  if (!options_.retry.enabled) {
+    return await(begin_multiply(name, x, deadline_us, priority));
+  }
+  return multiply_retrying(name, std::vector<double>(x.begin(), x.end()),
+                           deadline_us, priority);
 }
 
 SpmvNetClient::Result SpmvNetClient::multiply_cached(
@@ -196,6 +247,11 @@ SpmvNetClient::Result SpmvNetClient::multiply_cached(
     std::int32_t priority) {
   if (!have_shadow_) {
     throw std::logic_error("multiply_cached with no vector ever shipped");
+  }
+  if (options_.retry.enabled) {
+    // First attempt re-derives kCached from the shadow (the diff is
+    // empty); a retransmission after reconnect has a dense copy to ship.
+    return multiply_retrying(name, shadow_x_, deadline_us, priority);
   }
   MultiplyRequest req;
   req.name = name;
@@ -209,6 +265,7 @@ SpmvNetClient::Result SpmvNetClient::multiply_cached(
   ++counters_.cached_operands;
   req.operands.push_back(std::move(spec));
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = Clock::now() + options_.timeout;
   send_frame(FrameType::kMultiply, id, encode_multiply(req));
   return await(id);
 }
@@ -216,25 +273,50 @@ SpmvNetClient::Result SpmvNetClient::multiply_cached(
 SpmvNetClient::BatchResult SpmvNetClient::multiply_batch(
     const std::string& name, const std::vector<std::vector<double>>& xs,
     std::uint64_t deadline_us, std::int32_t priority) {
-  MultiplyRequest req;
-  req.name = name;
-  req.deadline_us = deadline_us;
-  req.priority = priority;
-  req.operands.reserve(xs.size());
-  // The shadow evolves across items exactly as the server's cache does —
-  // item i's delta applies to item i-1's vector.
-  for (const auto& x : xs) req.operands.push_back(make_operand(x));
-  const std::uint64_t id = next_request_id_++;
-  send_frame(FrameType::kMultiplyBatch, id, encode_multiply(req));
-
   BatchResult out;
   std::pair<FrameType, std::vector<std::uint8_t>> reply;
-  try {
-    reply = await_frame(id);
-  } catch (const std::exception& e) {
-    out.status = StatusCode::kConnectionLost;
-    out.message = e.what();
-    return out;
+  if (!options_.retry.enabled) {
+    MultiplyRequest req;
+    req.name = name;
+    req.deadline_us = deadline_us;
+    req.priority = priority;
+    req.operands.reserve(xs.size());
+    // The shadow evolves across items exactly as the server's cache does —
+    // item i's delta applies to item i-1's vector.
+    for (const auto& x : xs) req.operands.push_back(make_operand(x));
+    const std::uint64_t id = next_request_id_++;
+    io_deadline_ = ladder_deadline();
+    send_frame(FrameType::kMultiplyBatch, id, encode_multiply(req));
+    try {
+      reply = await_frame(id);
+    } catch (const std::exception& e) {
+      out.status = StatusCode::kConnectionLost;
+      out.message = e.what();
+      return out;
+    }
+  } else {
+    const std::uint64_t id = next_request_id_++;
+    auto encode = [&](bool first) {
+      MultiplyRequest req;
+      req.name = name;
+      req.deadline_us = deadline_us;
+      req.priority = priority;
+      req.operands.reserve(xs.size());
+      if (first) {
+        for (const auto& x : xs) req.operands.push_back(make_operand(x));
+      } else {
+        for (const auto& x : xs) req.operands.push_back(full_operand(x));
+      }
+      return encode_multiply(req);
+    };
+    try {
+      reply = retry_call(FrameType::kMultiplyBatch, id, encode,
+                         ladder_deadline());
+    } catch (const std::exception& e) {
+      out.status = StatusCode::kConnectionLost;
+      out.message = e.what();
+      return out;
+    }
   }
   if (reply.first == FrameType::kMultiplyBatchResult) {
     MultiplyBatchResult res;
@@ -274,6 +356,7 @@ void SpmvNetClient::note_reply_status(StatusCode code) {
 }
 
 SpmvNetClient::Result SpmvNetClient::await(std::uint64_t request_id) {
+  io_deadline_ = ladder_deadline();
   try {
     auto [type, payload] = await_frame(request_id);
     Result r = to_result(type, payload);
@@ -291,12 +374,14 @@ SpmvNetClient::Result SpmvNetClient::cancel(std::uint64_t target_id) {
   CancelRequest req;
   req.target_id = target_id;
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = Clock::now() + options_.timeout;
   send_frame(FrameType::kCancel, id, encode_cancel(req));
   return await(id);
 }
 
 bool SpmvNetClient::stats(StatsResult& out) {
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = Clock::now() + options_.timeout;
   send_frame(FrameType::kStats, id, {});
   try {
     auto [type, payload] = await_frame(id);
@@ -308,6 +393,7 @@ bool SpmvNetClient::stats(StatsResult& out) {
 
 bool SpmvNetClient::health(HealthResult& out) {
   const std::uint64_t id = next_request_id_++;
+  io_deadline_ = Clock::now() + options_.timeout;
   send_frame(FrameType::kHealth, id, {});
   try {
     auto [type, payload] = await_frame(id);
@@ -319,7 +405,146 @@ bool SpmvNetClient::health(HealthResult& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Retry ladder
+
+SpmvNetClient::Clock::time_point SpmvNetClient::ladder_deadline() const {
+  const auto budget = options_.rpc_budget.count() > 0 ? options_.rpc_budget
+                                                      : options_.timeout;
+  return Clock::now() + budget;
+}
+
+void SpmvNetClient::sleep_backoff(Clock::time_point deadline) {
+  auto delay = backoff_.next();
+  const auto now = Clock::now();
+  if (now >= deadline) return;
+  delay = std::min(
+      delay, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                   now));
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+SpmvNetClient::Result SpmvNetClient::multiply_retrying(
+    const std::string& name, std::vector<double> full,
+    std::uint64_t deadline_us, std::int32_t priority) {
+  const std::uint64_t id = next_request_id_++;
+  auto encode = [&](bool first) {
+    MultiplyRequest req;
+    req.name = name;
+    req.deadline_us = deadline_us;
+    req.priority = priority;
+    req.operands.push_back(first ? make_operand(full) : full_operand(full));
+    return encode_multiply(req);
+  };
+  try {
+    auto [type, payload] =
+        retry_call(FrameType::kMultiply, id, encode, ladder_deadline());
+    Result r = to_result(type, payload);
+    note_reply_status(r.status);
+    return r;
+  } catch (const std::exception& e) {
+    Result r;
+    r.status = StatusCode::kConnectionLost;
+    r.message = e.what();
+    return r;
+  }
+}
+
+std::pair<FrameType, std::vector<std::uint8_t>> SpmvNetClient::retry_call(
+    FrameType type, std::uint64_t request_id,
+    const std::function<std::vector<std::uint8_t>(bool first)>& encode_attempt,
+    Clock::time_point deadline) {
+  const auto& policy = options_.retry;
+  bool first = true;       // first wire transmission (governs delta encoding)
+  bool first_try = true;   // first ladder iteration (governs retry counting)
+  int attempts = 0;
+  std::string last_error = "no attempt made";
+  for (;;) {
+    const auto now = Clock::now();
+    if (!breaker_.allow(now)) {
+      ++counters_.breaker_fast_fails;
+      throw std::runtime_error("client: circuit breaker open (" + last_error +
+                               ")");
+    }
+    if (attempts >= policy.max_attempts || now >= deadline) {
+      throw std::runtime_error("client: retries exhausted (" + last_error +
+                               ")");
+    }
+    // Every iteration after the first is a retry, whether it fails during
+    // reconnect or during the exchange itself.
+    if (!first_try) ++counters_.retries;
+    first_try = false;
+    ++attempts;
+    try {
+      if (fd_ < 0) {
+        connect_internal(std::min(deadline, Clock::now() + options_.timeout));
+      }
+      // Each attempt gets one transport-level `timeout`, all of it inside
+      // the ladder's cumulative budget.
+      io_deadline_ = std::min(deadline, Clock::now() + options_.timeout);
+      const std::vector<std::uint8_t> payload = encode_attempt(first);
+      first = false;
+      send_frame(type, request_id, payload);
+      auto reply = await_frame(request_id);
+      StatusMsg status;
+      if (reply.first == FrameType::kStatus &&
+          decode_status(reply.second, status) &&
+          status.code == StatusCode::kRetryPending) {
+        // The original is still executing server-side.  The transport is
+        // healthy (we just completed an exchange), so this poll does not
+        // count against the breaker or the attempt cap — only the
+        // deadline bounds it.
+        ++counters_.retry_pending;
+        breaker_.record_success();
+        --attempts;
+        sleep_backoff(deadline);
+        continue;
+      }
+      breaker_.record_success();
+      backoff_.reset();
+      return reply;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (breaker_.record_failure()) ++counters_.breaker_open_events;
+      if (Clock::now() >= deadline || attempts >= policy.max_attempts) {
+        throw std::runtime_error("client: retries exhausted (" + last_error +
+                                 ")");
+      }
+      sleep_backoff(deadline);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Transport
+
+void SpmvNetClient::wait_io(short events) {
+  for (;;) {
+    if (fd_ < 0) throw std::runtime_error("client: not connected");
+    const auto now = Clock::now();
+    if (now >= io_deadline_) {
+      close();
+      throw std::runtime_error("client: rpc deadline exceeded");
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(io_deadline_ -
+                                                              now)
+            .count();
+    pollfd p{};
+    p.fd = fd_;
+    p.events = events;
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(std::min<long long>(left + 1, 60000)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      close();
+      throw std::runtime_error("client: poll failed: " + err);
+    }
+    // Ready (or error/EOF — the following syscall reports it); rc == 0
+    // loops to re-check the deadline.
+    if (rc > 0) return;
+  }
+}
 
 void SpmvNetClient::send_frame(FrameType type, std::uint64_t request_id,
                                std::span<const std::uint8_t> payload) {
@@ -339,6 +564,10 @@ void SpmvNetClient::send_all(const std::uint8_t* data, std::size_t n) {
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_io(POLLOUT);
+      continue;
+    }
     const std::string err =
         w < 0 ? std::strerror(errno) : std::string("short write");
     close();
@@ -374,10 +603,12 @@ void SpmvNetClient::recv_frame(FrameHeader& header,
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_io(POLLIN);
+      continue;
+    }
     const std::string err = n == 0 ? std::string("connection closed")
-                            : (errno == EAGAIN || errno == EWOULDBLOCK)
-                                ? std::string("receive timeout")
-                                : std::string(std::strerror(errno));
+                                   : std::string(std::strerror(errno));
     close();
     throw std::runtime_error("client: " + err);
   }

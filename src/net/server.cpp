@@ -95,12 +95,20 @@ struct SpmvServer::Conn {
   std::vector<std::uint8_t> rdbuf;
   std::deque<std::vector<std::uint8_t>> wq;
   std::size_t wq_off = 0;  ///< bytes of wq.front() already written
+  std::size_t wq_bytes = 0;  ///< total unsent bytes across wq
   bool closing = false;    ///< flush remaining writes, then close
   bool kill = false;       ///< close without flushing
+  bool goodbye = false;    ///< clean GOODBYE exchanged: never park
   std::shared_ptr<ClientSlot> slot;  ///< null until HELLO
   std::map<std::uint64_t, std::shared_ptr<PendingOp>> ops;
   std::map<std::uint64_t, std::shared_ptr<BatchState>> batches;
   Clock::time_point last_activity;
+  /// When the current partial frame started buffering; time_point{} when
+  /// rdbuf holds no partial frame.  Anchored at frame start — per-byte
+  /// trickling does NOT advance it, which is the whole point.
+  Clock::time_point partial_since{};
+  /// Last time a send() moved reply bytes (or the backlog was empty).
+  Clock::time_point last_write_progress;
 };
 
 struct SpmvServer::IoThread {
@@ -255,6 +263,17 @@ NetStatsSnapshot SpmvServer::net_stats() const {
   s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
   s.completions_dropped =
       completions_dropped_.load(std::memory_order_relaxed);
+  s.completions_parked =
+      completions_parked_.load(std::memory_order_relaxed);
+  s.replay_hits = replay_hits_.load(std::memory_order_relaxed);
+  s.retry_pending = retry_pending_.load(std::memory_order_relaxed);
+  s.retry_unknown = retry_unknown_.load(std::memory_order_relaxed);
+  s.resumes = resumes_.load(std::memory_order_relaxed);
+  s.resume_rejected = resume_rejected_.load(std::memory_order_relaxed);
+  s.parked_reaped = parked_reaped_.load(std::memory_order_relaxed);
+  s.progress_killed = progress_killed_.load(std::memory_order_relaxed);
+  s.write_stall_killed =
+      write_stall_killed_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return s;
@@ -337,7 +356,7 @@ void SpmvServer::io_loop(unsigned index) {
       ids.push_back(id);
     }
 
-    const int timeout_ms = config_.idle_timeout.count() > 0 ? 100 : -1;
+    const int timeout_ms = needs_sweep_tick() ? 100 : -1;
     const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
     // acquire: pairs with stop()'s release store after the scheduler
     // drained — everything the drain produced is in our inbox by now.
@@ -465,6 +484,7 @@ void SpmvServer::drain_inbox(IoThread& io) {
     // relaxed: ids only need uniqueness.
     conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     conn->last_activity = Clock::now();
+    conn->last_write_progress = conn->last_activity;
     // relaxed: statistics gauge.
     active_conns_.fetch_add(1, std::memory_order_relaxed);
     io.conns.emplace(conn->id, std::move(conn));
@@ -502,6 +522,7 @@ void SpmvServer::handle_readable(IoThread& io, Conn& conn) {
     return;
   }
 
+  bool advanced = false;  // a complete frame was consumed this pass
   while (!conn.closing && !conn.kill) {
     FrameHeader header;
     std::span<const std::uint8_t> payload;
@@ -514,6 +535,7 @@ void SpmvServer::handle_readable(IoThread& io, Conn& conn) {
       conn.rdbuf.erase(conn.rdbuf.begin(),
                        conn.rdbuf.begin() +
                            static_cast<std::ptrdiff_t>(consumed));
+      advanced = true;
       continue;
     }
     // Wire-level violation: the stream is unrecoverable.  When the
@@ -530,6 +552,16 @@ void SpmvServer::handle_readable(IoThread& io, Conn& conn) {
       conn.kill = true;
     }
     break;
+  }
+
+  // Anchor the read-progress clock at the *start* of the partial frame:
+  // completing a frame is the only thing that re-arms it, so a trickler
+  // feeding one byte per tick cannot keep resetting its own deadline the
+  // way it resets last_activity.
+  if (conn.rdbuf.empty()) {
+    conn.partial_since = Clock::time_point{};
+  } else if (advanced || conn.partial_since == Clock::time_point{}) {
+    conn.partial_since = Clock::now();
   }
 }
 
@@ -559,12 +591,31 @@ void SpmvServer::handle_frame(IoThread& io, Conn& conn,
                                                    : req.requested_quota;
     if (quota > config_.max_quota) quota = config_.max_quota;
     if (quota == 0) quota = 1;
-    conn.slot = sessions_.open(quota);
-    conn.slot->client_name = std::move(req.client_name);
+    bool resumed = false;
+    if (req.resume_session_id != 0 &&
+        config_.resume_timeout.count() > 0 &&
+        !SPMV_FAULT_POINT("net.resume_reject")) {
+      conn.slot = sessions_.resume(req.resume_session_id, req.resume_token,
+                                   Clock::now(), conn.id);
+      resumed = conn.slot != nullptr;
+    }
+    if (resumed) {
+      // relaxed: statistics counter.
+      resumes_.fetch_add(1, std::memory_order_relaxed);
+    } else if (req.resume_session_id != 0) {
+      // relaxed: statistics counter.
+      resume_rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (conn.slot == nullptr) {
+      conn.slot = sessions_.open(quota, conn.id);
+      conn.slot->client_name = std::move(req.client_name);
+    }
     HelloOk ok;
     ok.session_id = conn.slot->id;
-    ok.quota = quota;
+    ok.quota = conn.slot->quota;
     ok.max_payload = config_.max_payload;
+    ok.resume_token = conn.slot->resume_token;
+    ok.resumed = resumed ? 1 : 0;
     send_frame(conn, FrameType::kHelloOk, header.request_id,
                encode_hello_ok(ok));
     return;
@@ -634,6 +685,7 @@ void SpmvServer::handle_frame(IoThread& io, Conn& conn,
         for (auto& item : b->items) (void)item->token.cancel();
       }
       send_frame(conn, FrameType::kGoodbye, header.request_id, {});
+      conn.goodbye = true;  // clean exit: the session is never parked
       conn.closing = true;
       return;
     }
@@ -651,14 +703,55 @@ void SpmvServer::handle_frame(IoThread& io, Conn& conn,
 void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
                                  const FrameHeader& header, bool batch,
                                  std::span<const std::uint8_t> payload) {
+  ClientSlot& slot = *conn.slot;
+
+  // Retransmission classification comes before everything else — before
+  // decoding, before the cache-sync rule.  A re-used request id is by
+  // protocol a retransmission of the same logical request, and
+  // retransmissions are cache-neutral on BOTH sides: the server never
+  // re-applies their operands, and the client does not advance its delta
+  // shadow when re-sending (retries always ship full operands anyway,
+  // since delivery of the original was uncertain).
+  {
+    std::vector<std::uint8_t> replay_frame;
+    switch (slot.classify(header.request_id, replay_frame)) {
+      case RetryClass::kNew:
+        break;
+      case RetryClass::kReplay:
+        // Exactly-once effect: the multiply already executed (or was
+        // terminally rejected); re-send the recorded reply verbatim.
+        // relaxed: statistics counter.
+        replay_hits_.fetch_add(1, std::memory_order_relaxed);
+        queue_frame(conn, std::move(replay_frame));
+        return;
+      case RetryClass::kPending:
+        // Still executing (in flight from this or a prior connection of
+        // the session): not a decision, so it is NOT recorded — the
+        // client backs off and retries until the replay window answers.
+        // relaxed: statistics counter.
+        retry_pending_.fetch_add(1, std::memory_order_relaxed);
+        send_status(conn, header.request_id, StatusCode::kRetryPending,
+                    "request still executing; retry");
+        return;
+      case RetryClass::kUnknown:
+        // Decided so long ago the replay entry was evicted.  The server
+        // refuses to guess (re-executing could double-apply the effect);
+        // the caller decides whether re-issuing under a new id is safe.
+        // relaxed: statistics counter.
+        retry_unknown_.fetch_add(1, std::memory_order_relaxed);
+        send_status(conn, header.request_id, StatusCode::kRetryUnknown,
+                    "outcome evicted from replay window");
+        return;
+    }
+  }
+
   MultiplyRequest req;
   if (!decode_multiply(payload, batch, req,
                        std::max<std::uint32_t>(1, config_.max_quota))) {
-    send_status(conn, header.request_id, StatusCode::kBadRequest,
-                "malformed MULTIPLY");
+    decide_status(conn, slot, header.request_id, StatusCode::kBadRequest,
+                  "malformed MULTIPLY");
     return;
   }
-  ClientSlot& slot = *conn.slot;
   const auto k = static_cast<std::uint32_t>(req.operands.size());
 
   // Resolve every operand to a pinned snapshot BEFORE submitting or
@@ -680,14 +773,15 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
         break;
       case OperandMode::kDelta: {
         if (cur == nullptr || cur->size() != spec.n) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "delta without a matching cached vector");
+          decide_status(conn, slot, header.request_id,
+                        StatusCode::kBadRequest,
+                        "delta without a matching cached vector");
           return;
         }
         auto next = std::make_shared<std::vector<double>>(*cur);
         if (!spmv::net::apply(spec.delta, *next)) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "inconsistent delta");
+          decide_status(conn, slot, header.request_id,
+                        StatusCode::kBadRequest, "inconsistent delta");
           return;
         }
         cur = std::move(next);
@@ -695,8 +789,8 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
       }
       case OperandMode::kCached:
         if (cur == nullptr || cur->size() != spec.n) {
-          send_status(conn, header.request_id, StatusCode::kBadRequest,
-                      "no cached vector");
+          decide_status(conn, slot, header.request_id,
+                        StatusCode::kBadRequest, "no cached vector");
           return;
         }
         break;
@@ -707,34 +801,30 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   // shadow advances unconditionally the moment it ships the frame, so the
   // cache rule must be identical on both sides: a structurally valid
   // operand sequence always applies, even when the request is then
-  // rejected (draining, duplicate id, quota, unknown matrix, wrong
-  // length) — otherwise a pipelined client whose request was refused
-  // would have every later delta silently patch a stale base.  The
-  // client mirrors the structural-failure case by dropping its shadow on
-  // kBadRequest/kProtocolError replies.
+  // rejected (draining, quota, unknown matrix, wrong length) — otherwise
+  // a pipelined client whose request was refused would have every later
+  // delta silently patch a stale base.  The client mirrors the
+  // structural-failure case by dropping its shadow on
+  // kBadRequest/kProtocolError replies.  (Retransmissions never reach
+  // this point — they were answered by the classification above.)
   slot.cached_x = cur;
 
   // acquire: pairs with stop()'s release; draining admits nothing new.
   if (draining_.load(std::memory_order_acquire)) {
-    send_status(conn, header.request_id, StatusCode::kShutdown,
-                "server draining");
+    decide_status(conn, slot, header.request_id, StatusCode::kShutdown,
+                  "server draining");
     return;
   }
-  if (conn.ops.count(header.request_id) != 0 ||
-      conn.batches.count(header.request_id) != 0) {
-    send_status(conn, header.request_id, StatusCode::kBadRequest,
-                "request id already in flight");
-    return;
-  }
-  if (slot.in_flight + k > slot.quota) {
-    send_status(conn, header.request_id, StatusCode::kQuotaExceeded,
-                "session quota exhausted");
+  if (slot.inflight_items() + k > slot.quota) {
+    decide_status(conn, slot, header.request_id,
+                  StatusCode::kQuotaExceeded, "session quota exhausted");
     return;
   }
   const auto entry = registry_.find(req.name);
   if (entry == nullptr) {
-    send_status(conn, header.request_id, StatusCode::kUnknownMatrix,
-                "no matrix '" + req.name + "'");
+    decide_status(conn, slot, header.request_id,
+                  StatusCode::kUnknownMatrix,
+                  "no matrix '" + req.name + "'");
     return;
   }
   const std::uint32_t rows = entry->plan.rows();
@@ -743,8 +833,8 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
       static_cast<std::uint64_t>(cols) * sizeof(double);
   for (const auto& x : xs) {
     if (x->size() != cols) {
-      send_status(conn, header.request_id, StatusCode::kBadRequest,
-                  "operand length mismatch");
+      decide_status(conn, slot, header.request_id, StatusCode::kBadRequest,
+                    "operand length mismatch");
       return;
     }
   }
@@ -765,7 +855,9 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   }
   // relaxed: statistics counter.
   requests_.fetch_add(k, std::memory_order_relaxed);
-  slot.in_flight += k;
+  // Admission is single-writer (only the attached connection's thread
+  // admits), so the quota check above cannot race another admit.
+  slot.admit(header.request_id, k);
 
   const auto now = Clock::now();
   serve::SubmitOptions base;
@@ -939,77 +1031,126 @@ StatusCode SpmvServer::op_status(PendingOp& op, std::string& message) {
 
 void SpmvServer::process_completion(IoThread& io, Completion&& c) {
   auto it = io.conns.find(c.conn_id);
-  if (it == io.conns.end()) {
-    // The connection died while the request was in flight (disconnect
-    // cancels, but the dispatcher may already have claimed it).  The
-    // result has no recipient: drop exactly once, leak nothing — the
-    // records freed here were the last owners of the operand pins.
-    // relaxed: statistics counter.
-    completions_dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  Conn& conn = *it->second;
+  Conn* conn = it == io.conns.end() ? nullptr : it->second.get();
 
-  if (c.has_frame) {  // pre-encoded reply (upload result)
-    std::vector<std::uint8_t> frame = std::move(c.frame);
-    // relaxed: statistics counter.
-    responses_.fetch_add(1, std::memory_order_relaxed);
-    conn.wq.push_back(std::move(frame));
-    flush_writes(conn);
+  if (c.has_frame) {  // pre-encoded reply (upload results — not replayed)
+    if (conn == nullptr) {
+      // relaxed: statistics counter.
+      completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    queue_frame(*conn, std::move(c.frame));
     return;
   }
 
   const auto now = Clock::now();
   if (c.op != nullptr) {
-    conn.ops.erase(c.op->request_id);
     ClientSlot& slot = *c.op->slot;
-    if (slot.in_flight > 0) --slot.in_flight;
+    const std::uint64_t request_id = c.op->request_id;
     std::string msg;
     const StatusCode sc = op_status(*c.op, msg);
+    const bool ok = sc == StatusCode::kOk;
     const auto ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(now -
                                                              c.op->started)
             .count());
-    slot.count_outcome(sc == StatusCode::kOk, ns);
-    if (sc == StatusCode::kOk) {
-      MultiplyResult res;
-      res.y = std::move(c.op->y);
-      send_frame(conn, FrameType::kMultiplyResult, c.op->request_id,
-                 encode_multiply_result(res));
-    } else {
-      if (sc == StatusCode::kShed) {
-        // relaxed: statistics counter.
-        shed_replies_.fetch_add(1, std::memory_order_relaxed);
-      }
-      send_status(conn, c.op->request_id, sc, msg);
+    if (sc == StatusCode::kShed) {
+      // relaxed: statistics counter.
+      shed_replies_.fetch_add(1, std::memory_order_relaxed);
     }
+    std::vector<std::uint8_t> frame;
+    try {
+      if (ok) {
+        MultiplyResult res;
+        res.y = std::move(c.op->y);
+        frame = encode_frame(FrameType::kMultiplyResult, request_id,
+                             encode_multiply_result(res));
+      } else {
+        StatusMsg m;
+        m.code = sc;
+        m.message = std::move(msg);
+        frame = encode_frame(FrameType::kStatus, request_id,
+                             encode_status(m));
+      }
+    } catch (const std::length_error&) {
+      // relaxed: statistics counter.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (conn != nullptr) conn->kill = true;
+      return;
+    }
+    if (conn == nullptr) {
+      // The connection died while the request was in flight.  If the
+      // session is parked (or already re-attached elsewhere), record the
+      // decision into its replay window so the retransmission gets the
+      // same reply; if the session closed with it, drop exactly once.
+      if (slot.record_orphan(request_id, ok ? 1 : 0, ok ? 0 : 1, ns,
+                             std::move(frame), config_.replay_window)) {
+        // relaxed: statistics counter.
+        completions_parked_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // relaxed: statistics counter.
+        completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    conn->ops.erase(request_id);
+    slot.count_outcome(ok, ns);
+    decide_and_send(*conn, slot, request_id, std::move(frame));
     return;
   }
 
   BatchState& bs = *c.batch;
-  conn.batches.erase(bs.request_id);
   ClientSlot& slot = *bs.slot;
-  const auto width = static_cast<std::uint32_t>(bs.items.size());
-  slot.in_flight = slot.in_flight > width ? slot.in_flight - width : 0;
   MultiplyBatchResult res;
   res.items.reserve(bs.items.size());
   const auto ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - bs.started)
           .count());
+  std::uint32_t ok_items = 0;
+  std::uint32_t failed_items = 0;
   for (auto& item : bs.items) {
     BatchItemResult out;
     std::string msg;
     out.status = op_status(*item, msg);
-    if (out.status == StatusCode::kOk) out.y = std::move(item->y);
+    if (out.status == StatusCode::kOk) {
+      out.y = std::move(item->y);
+      ++ok_items;
+    } else {
+      ++failed_items;
+    }
     if (out.status == StatusCode::kShed) {
       // relaxed: statistics counter.
       shed_replies_.fetch_add(1, std::memory_order_relaxed);
     }
-    slot.count_outcome(out.status == StatusCode::kOk, ns);
     res.items.push_back(std::move(out));
   }
-  send_frame(conn, FrameType::kMultiplyBatchResult, bs.request_id,
-             encode_multiply_batch_result(res));
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = encode_frame(FrameType::kMultiplyBatchResult, bs.request_id,
+                         encode_multiply_batch_result(res));
+  } catch (const std::length_error&) {
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (conn != nullptr) conn->kill = true;
+    return;
+  }
+  if (conn == nullptr) {
+    if (slot.record_orphan(bs.request_id, ok_items, failed_items, ns,
+                           std::move(frame), config_.replay_window)) {
+      // relaxed: statistics counter.
+      completions_parked_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // relaxed: statistics counter.
+      completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  conn->batches.erase(bs.request_id);
+  for (std::uint32_t i = 0; i < ok_items; ++i) slot.count_outcome(true, ns);
+  for (std::uint32_t i = 0; i < failed_items; ++i) {
+    slot.count_outcome(false, ns);
+  }
+  decide_and_send(*conn, slot, bs.request_id, std::move(frame));
 }
 
 // ---------------------------------------------------------------------------
@@ -1029,10 +1170,7 @@ void SpmvServer::send_frame(Conn& conn, FrameType type,
     conn.kill = true;
     return;
   }
-  conn.wq.push_back(std::move(frame));
-  // relaxed: statistics counter.
-  responses_.fetch_add(1, std::memory_order_relaxed);
-  flush_writes(conn);
+  queue_frame(conn, std::move(frame));
 }
 
 void SpmvServer::send_status(Conn& conn, std::uint64_t request_id,
@@ -1041,6 +1179,48 @@ void SpmvServer::send_status(Conn& conn, std::uint64_t request_id,
   msg.code = code;
   msg.message = message;
   send_frame(conn, FrameType::kStatus, request_id, encode_status(msg));
+}
+
+void SpmvServer::queue_frame(Conn& conn, std::vector<std::uint8_t> frame) {
+  // An empty backlog means the write-stall clock was idle: re-arm it now
+  // so the grace period is measured from when the backlog began.
+  if (conn.wq.empty()) conn.last_write_progress = Clock::now();
+  conn.wq_bytes += frame.size();
+  conn.wq.push_back(std::move(frame));
+  // relaxed: statistics counter.
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  flush_writes(conn);
+}
+
+void SpmvServer::decide_and_send(Conn& conn, ClientSlot& slot,
+                                 std::uint64_t request_id,
+                                 std::vector<std::uint8_t> frame) {
+  slot.decide(request_id, frame, config_.replay_window);
+  if (SPMV_FAULT_POINT("net.replay_evict")) {
+    // Simulated premature eviction: a retry of this id now answers
+    // kRetryUnknown instead of replaying — the client-visible worst case.
+    slot.drop_replay(request_id);
+  }
+  queue_frame(conn, std::move(frame));
+}
+
+void SpmvServer::decide_status(Conn& conn, ClientSlot& slot,
+                               std::uint64_t request_id, StatusCode code,
+                               const std::string& message) {
+  StatusMsg msg;
+  msg.code = code;
+  msg.message = message;
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = encode_frame(FrameType::kStatus, request_id,
+                         encode_status(msg));
+  } catch (const std::length_error&) {
+    // relaxed: statistics counter.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn.kill = true;
+    return;
+  }
+  decide_and_send(conn, slot, request_id, std::move(frame));
 }
 
 void SpmvServer::flush_writes(Conn& conn) {
@@ -1056,6 +1236,8 @@ void SpmvServer::flush_writes(Conn& conn) {
         ::send(conn.fd, front.data() + conn.wq_off, chunk, MSG_NOSIGNAL);
     if (n > 0) {
       conn.wq_off += static_cast<std::size_t>(n);
+      conn.wq_bytes -= std::min(conn.wq_bytes, static_cast<std::size_t>(n));
+      conn.last_write_progress = Clock::now();
       // relaxed: statistics counter.
       bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
                            std::memory_order_relaxed);
@@ -1079,14 +1261,45 @@ void SpmvServer::close_conn(IoThread& io, std::uint64_t conn_id) {
   auto it = io.conns.find(conn_id);
   if (it == io.conns.end()) return;
   Conn& conn = *it->second;
-  // Disconnect cancels everything in flight; whatever the cancel loses
-  // the race to still resolves, and its completion is dropped (counted)
-  // because the connection is no longer in the map.
-  for (auto& [id, op] : conn.ops) (void)op->token.cancel();
-  for (auto& [id, b] : conn.batches) {
-    for (auto& item : b->items) (void)item->token.cancel();
+  // An abrupt disconnect parks the session when resumption is enabled:
+  // in-flight work keeps running (its completions land in the replay
+  // window via record_orphan) and a resuming HELLO within the deadline
+  // re-attaches.  A clean GOODBYE, resumption disabled, or server
+  // shutdown closes permanently — then disconnect cancels everything in
+  // flight, and whatever the cancel loses the race to still resolves
+  // with its completion dropped (counted) because the connection is no
+  // longer in the map.
+  // acquire: pairs with stop()'s release — during the final pass every
+  // close is permanent.
+  const bool park = conn.slot != nullptr && !conn.goodbye &&
+                    config_.resume_timeout.count() > 0 &&
+                    !io_stopping_.load(std::memory_order_acquire) &&
+                    !draining_.load(std::memory_order_acquire);
+  if (park) {
+    switch (sessions_.park(conn.slot, Clock::now() + config_.resume_timeout,
+                           conn.id)) {
+      case SessionManager::ParkResult::kParked:
+        break;
+      case SessionManager::ParkResult::kTakenOver:
+        // A resume HELLO on another connection beat this close (a proxy
+        // cutting both ends races the two I/O threads).  The session —
+        // and its in-flight work — belong to the new connection now;
+        // completions for this dead one land in the replay window via
+        // record_orphan.  Touch nothing.
+        break;
+      case SessionManager::ParkResult::kGone:
+        sessions_.close(conn.slot->id);
+        break;
+    }
+  } else {
+    for (auto& [id, op] : conn.ops) (void)op->token.cancel();
+    for (auto& [id, b] : conn.batches) {
+      for (auto& item : b->items) (void)item->token.cancel();
+    }
+    // Owner-conditional: if a resume raced this permanent close and took
+    // the session over, its death here must not retire it.
+    if (conn.slot != nullptr) sessions_.close(conn.slot->id, conn.id);
   }
-  if (conn.slot != nullptr) sessions_.close(conn.slot->id);
   ::close(conn.fd);
   // relaxed: statistics gauge.
   active_conns_.fetch_sub(1, std::memory_order_relaxed);
@@ -1094,11 +1307,53 @@ void SpmvServer::close_conn(IoThread& io, std::uint64_t conn_id) {
 }
 
 void SpmvServer::reap_idle(IoThread& io) {
-  if (config_.idle_timeout.count() <= 0) return;
+  if (!needs_sweep_tick()) return;
   const auto now = Clock::now();
+
+  // Parked-session expiry runs on thread 0 only (the manager's mutex
+  // makes it safe anywhere; one sweeper avoids double counting).
+  if (io.index == 0 && config_.resume_timeout.count() > 0) {
+    const std::size_t reaped = sessions_.reap_parked(now);
+    if (reaped > 0) {
+      // relaxed: statistics counter.
+      parked_reaped_.fetch_add(reaped, std::memory_order_relaxed);
+    }
+  }
+
+  // Read-progress deadlines: a partial frame must complete within
+  // header_timeout (nothing but header bytes yet) / body_timeout of its
+  // first byte.  Unset timeouts fall back to idle_timeout so a
+  // half-delivered frame can never evade the idle reaper by trickling.
+  const auto effective = [&](std::chrono::milliseconds t) {
+    return t.count() > 0 ? t : config_.idle_timeout;
+  };
+  const auto header_limit = effective(config_.header_timeout);
+  const auto body_limit = effective(config_.body_timeout);
+
   std::vector<std::uint64_t> doomed;
   for (const auto& [id, conn] : io.conns) {
     if (conn->closing || conn->kill) continue;
+    if (conn->partial_since != Clock::time_point{}) {
+      const auto limit =
+          conn->rdbuf.size() < kHeaderSize ? header_limit : body_limit;
+      if (limit.count() > 0 && now - conn->partial_since >= limit) {
+        // relaxed: statistics counter.
+        progress_killed_.fetch_add(1, std::memory_order_relaxed);
+        conn->kill = true;  // no farewell: the stream is mid-frame anyway
+        doomed.push_back(id);
+        continue;
+      }
+    }
+    if (config_.write_stall_bytes > 0 &&
+        conn->wq_bytes > config_.write_stall_bytes &&
+        now - conn->last_write_progress >= config_.write_stall_timeout) {
+      // relaxed: statistics counter.
+      write_stall_killed_.fetch_add(1, std::memory_order_relaxed);
+      conn->kill = true;  // flushing is exactly what the peer refuses
+      doomed.push_back(id);
+      continue;
+    }
+    if (config_.idle_timeout.count() <= 0) continue;
     if (!conn->ops.empty() || !conn->batches.empty()) continue;
     if (now - conn->last_activity >= config_.idle_timeout) {
       doomed.push_back(id);
@@ -1107,11 +1362,24 @@ void SpmvServer::reap_idle(IoThread& io) {
   for (const std::uint64_t id : doomed) {
     auto it = io.conns.find(id);
     if (it == io.conns.end()) continue;
-    // relaxed: statistics counter.
-    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
-    send_frame(*it->second, FrameType::kGoodbye, 0, {});
+    if (!it->second->kill) {
+      // Plain idle reap: still a polite goodbye, and a server-initiated
+      // farewell is a permanent close — never a park.
+      // relaxed: statistics counter.
+      idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(*it->second, FrameType::kGoodbye, 0, {});
+      it->second->goodbye = true;
+    }
     close_conn(io, id);
   }
+}
+
+bool SpmvServer::needs_sweep_tick() const {
+  return config_.idle_timeout.count() > 0 ||
+         config_.header_timeout.count() > 0 ||
+         config_.body_timeout.count() > 0 ||
+         config_.write_stall_bytes > 0 ||
+         config_.resume_timeout.count() > 0;
 }
 
 }  // namespace spmv::net

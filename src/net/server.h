@@ -77,6 +77,28 @@ struct ServerConfig {
   /// How long shutdown may keep flushing already-queued response bytes
   /// after the scheduler drained (slow readers do not wedge stop()).
   std::chrono::milliseconds drain_grace{1000};
+  /// How long an abruptly disconnected session stays parked waiting for a
+  /// resuming HELLO.  0 disables resumption entirely: a disconnect
+  /// cancels in-flight work and closes the session immediately (the
+  /// pre-resume semantics the lifecycle tests pin down).
+  std::chrono::milliseconds resume_timeout{0};
+  /// Decided multiply replies kept per session for retransmission.  A
+  /// retry inside the window re-sends the recorded reply verbatim
+  /// (exactly-once effect); a retry past it answers kRetryUnknown.
+  std::size_t replay_window = 64;
+  /// A partial frame header must complete within this long of its first
+  /// byte, and a partial payload within body_timeout — defeats
+  /// byte-at-a-time tricklers whose per-byte "activity" would evade
+  /// idle_timeout.  0 falls back to idle_timeout (if set); both 0
+  /// disables the progress check.
+  std::chrono::milliseconds header_timeout{0};
+  std::chrono::milliseconds body_timeout{0};
+  /// Kill a connection whose unsent reply backlog exceeds
+  /// write_stall_bytes with no drain progress for write_stall_timeout —
+  /// a peer that stops reading cannot pin reply memory forever.  0
+  /// disables the check.
+  std::size_t write_stall_bytes = 0;
+  std::chrono::milliseconds write_stall_timeout{1000};
   serve::SchedulerConfig scheduler;
   /// Tuning options applied to UPLOAD_MATRIX (runs on the control
   /// thread, never on an I/O thread).
@@ -94,8 +116,20 @@ struct NetStatsSnapshot {
   std::uint64_t protocol_errors = 0;
   std::uint64_t idle_reaped = 0;
   /// Completions whose connection was already gone (disconnect raced the
-  /// multiply): the result is dropped, never double-delivered.
+  /// multiply) and whose session was closed too: the result is dropped,
+  /// never double-delivered.
   std::uint64_t completions_dropped = 0;
+  /// Completions whose connection was gone but whose session was parked
+  /// (or re-attached): recorded into the replay window for the retry.
+  std::uint64_t completions_parked = 0;
+  std::uint64_t replay_hits = 0;      ///< retries answered from the window
+  std::uint64_t retry_pending = 0;    ///< retries answered kRetryPending
+  std::uint64_t retry_unknown = 0;    ///< retries answered kRetryUnknown
+  std::uint64_t resumes = 0;          ///< sessions re-attached via HELLO
+  std::uint64_t resume_rejected = 0;  ///< resume attempts refused
+  std::uint64_t parked_reaped = 0;    ///< parked sessions past the deadline
+  std::uint64_t progress_killed = 0;  ///< header/body progress deadline hit
+  std::uint64_t write_stall_killed = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 };
@@ -176,10 +210,25 @@ class SpmvServer {
                   std::span<const std::uint8_t> payload);
   void send_status(Conn& conn, std::uint64_t request_id, StatusCode code,
                    const std::string& message);
+  /// Enqueue an already-encoded frame and try to flush.
+  void queue_frame(Conn& conn, std::vector<std::uint8_t> frame);
+  /// Record `frame` as the decision for `request_id` in the session's
+  /// replay window, then send it.
+  void decide_and_send(Conn& conn, ClientSlot& slot,
+                       std::uint64_t request_id,
+                       std::vector<std::uint8_t> frame);
+  /// decide_and_send of a STATUS frame (terminal multiply rejections).
+  void decide_status(Conn& conn, ClientSlot& slot, std::uint64_t request_id,
+                     StatusCode code, const std::string& message);
   void flush_writes(Conn& conn);
   void close_conn(IoThread& io, std::uint64_t conn_id);
+  /// Idle reaping plus the slow-peer sweeps: read-progress deadlines on
+  /// partial frames, write-stall kills, and (thread 0) parked-session
+  /// expiry.
   void reap_idle(IoThread& io);
   void drain_inbox(IoThread& io);
+  /// True when any periodic sweep needs the poll loop to tick.
+  [[nodiscard]] bool needs_sweep_tick() const;
 
   /// Push a completion to the owning thread's inbox and ring its
   /// doorbell.  Called from scheduler dispatcher threads (the
@@ -224,6 +273,15 @@ class SpmvServer {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> idle_reaped_{0};
   std::atomic<std::uint64_t> completions_dropped_{0};
+  std::atomic<std::uint64_t> completions_parked_{0};
+  std::atomic<std::uint64_t> replay_hits_{0};
+  std::atomic<std::uint64_t> retry_pending_{0};
+  std::atomic<std::uint64_t> retry_unknown_{0};
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> resume_rejected_{0};
+  std::atomic<std::uint64_t> parked_reaped_{0};
+  std::atomic<std::uint64_t> progress_killed_{0};
+  std::atomic<std::uint64_t> write_stall_killed_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
 };

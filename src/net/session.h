@@ -1,35 +1,46 @@
 // Per-client session state for the network front-end.
 //
-// A session is 1:1 with a connection and lives from HELLO to disconnect.
-// Its *protocol* state — the cached operand vector deltas apply to, the
-// in-flight request count the quota bounds — is owned exclusively by the
-// I/O thread that owns the connection and is deliberately plain data: no
-// lock is ever taken on the frame-handling path.  Its *statistics* are
-// read cross-thread (STATS frames answer on the owning thread, but the
-// server-wide snapshot aggregates every session from whichever thread
-// asks), so counters are relaxed atomics and the latency histogram is the
-// serving plane's lock-free serve::LatencyHistogram.
+// A session begins at HELLO and survives disconnects when resumption is
+// enabled: an abrupt connection loss *parks* the session (bounded by the
+// server's resume deadline) and a later HELLO carrying the session's
+// resume token re-attaches it.  Its *protocol* state — the cached operand
+// vector deltas apply to — is owned by the I/O thread of the currently
+// attached connection and handed off through the SessionManager's mutex
+// at park/resume; no lock is taken on the frame-handling fast path for
+// it.  The *retry* state (reply-replay window, in-flight id map) is read
+// and written from whichever I/O thread owns the attached connection AND
+// from the thread delivering a completion for a connection that already
+// died, so it lives under a per-slot mutex.  *Statistics* are relaxed
+// atomics as before.
 //
-// The cached operand is copy-on-write: applying a delta copies the
-// current vector, patches the copy, and republishes the shared_ptr.  Every
-// in-flight request pins the snapshot it was submitted with, so a later
-// delta can never mutate an operand mid-multiply — the same pin-the-
-// version discipline MatrixRegistry uses for plans.
+// Exactly-once effect semantics hang off the retry state: every decided
+// multiply (result or terminal error) is recorded in a bounded replay
+// window keyed by request id.  A retransmitted id is answered from the
+// window verbatim — the multiply never re-executes.  Ids still executing
+// answer kRetryPending; ids decided so long ago that their entry was
+// evicted answer kRetryUnknown (the server refuses to guess).  The
+// classification relies on the protocol rule that a session's multiply
+// request ids are strictly increasing except for retransmissions — the
+// in-tree client's monotone id counter guarantees it.
 //
 // This header is on lint_concurrency.py's lock-free audit list: every
 // atomic operation states its memory_order and argues it in an adjacent
 // comment.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/serve_stats.h"
+#include "util/prng.h"
 #include "util/thread_annotations.h"
 
 namespace spmv::net {
@@ -51,27 +62,186 @@ struct SessionStatsSnapshot {
   serve::LatencyHistogram::Snapshot rpc_latency;  ///< receive → reply
 };
 
-/// One connected client's session.  Protocol state (public plain members)
-/// belongs to the owning I/O thread; counters may be read from any
+/// Where a session is in its attach lifecycle.
+enum class AttachState : std::uint8_t {
+  kAttached,  ///< a live connection owns it
+  kParked,    ///< connection died; waiting for resume or the reaper
+  kClosed,    ///< permanently gone; stats retired
+};
+
+/// What a multiply request id means to this session right now.
+enum class RetryClass : std::uint8_t {
+  kNew,      ///< never seen: admit normally
+  kReplay,   ///< decided and still in the replay window: resend verbatim
+  kPending,  ///< still executing: answer kRetryPending
+  kUnknown,  ///< decided but evicted: answer kRetryUnknown
+};
+
+/// One client's session.  `cached_x`/`client_name` belong to the attached
+/// connection's I/O thread (handed off under the SessionManager mutex);
+/// retry state lives under `retry_mutex_`; counters may be read from any
 /// thread.
 class ClientSlot {
  public:
-  ClientSlot(std::uint64_t id, std::uint32_t quota) : id(id), quota(quota) {}
+  ClientSlot(std::uint64_t id, std::uint32_t quota, std::uint64_t token)
+      : id(id), quota(quota), resume_token(token) {}
 
   ClientSlot(const ClientSlot&) = delete;
   ClientSlot& operator=(const ClientSlot&) = delete;
 
   const std::uint64_t id;
   const std::uint32_t quota;  ///< max in-flight multiply items
+  /// Opaque proof-of-ownership a resuming HELLO must present.  Not a
+  /// security boundary (the transport is plaintext); it guards against
+  /// accidental cross-client resumption.
+  const std::uint64_t resume_token;
 
-  // --- I/O-thread-owned protocol state (never touched cross-thread) ---
+  // --- I/O-thread-owned protocol state ---
+  // Touched only by the attached connection's thread; park/resume hand
+  // ownership to the next thread through the SessionManager mutex.
   std::string client_name;
   /// The session's cached operand vector.  Copy-on-write: delta/full
   /// updates publish a fresh vector; in-flight requests keep pinning the
-  /// snapshot they were submitted with.
+  /// snapshot they were submitted with.  Cleared on resume — the client
+  /// re-ships full after a reconnect.
   std::shared_ptr<const std::vector<double>> cached_x;
+
+  // --- retry / replay state (shared with orphan-completion delivery) ---
+
+  /// Classify a multiply request id.  On kReplay, `replay_frame` receives
+  /// a copy of the recorded reply frame to resend verbatim.
+  [[nodiscard]] RetryClass classify(std::uint64_t request_id,
+                                    std::vector<std::uint8_t>& replay_frame)
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    if (auto it = replay_.find(request_id); it != replay_.end()) {
+      replay_frame = it->second;
+      return RetryClass::kReplay;
+    }
+    if (inflight_.count(request_id) != 0) return RetryClass::kPending;
+    if (max_decided_id_ != 0 && request_id <= max_decided_id_) {
+      return RetryClass::kUnknown;
+    }
+    return RetryClass::kNew;
+  }
+
   /// Multiply items currently in flight (admission: must stay <= quota).
-  std::uint32_t in_flight = 0;
+  /// In-flight work survives a park, so quota cannot be evaded by
+  /// reconnecting.
+  [[nodiscard]] std::uint32_t inflight_items() SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    return inflight_items_;
+  }
+
+  /// Record an admitted multiply/batch.  The caller has already checked
+  /// quota; admissions only ever come from the attached connection's
+  /// thread, so check-then-admit cannot over-admit.
+  void admit(std::uint64_t request_id, std::uint32_t items)
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    inflight_[request_id] = items;
+    inflight_items_ += items;
+  }
+
+  /// Record the decided reply for a request id: releases its in-flight
+  /// reservation (if any) and stores the frame in the replay window,
+  /// evicting the oldest entries past `window`.
+  void decide(std::uint64_t request_id, std::vector<std::uint8_t> frame,
+              std::size_t window) SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    decide_locked(request_id, std::move(frame), window);
+  }
+
+  /// Fault-injection hook (net.replay_evict): drop one replay entry so a
+  /// retry of it exercises the kRetryUnknown path.
+  void drop_replay(std::uint64_t request_id) SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    replay_.erase(request_id);
+  }
+
+  /// A completion arrived for a connection that no longer exists (the
+  /// session is parked, re-attached elsewhere, or closed).  Record the
+  /// decision into the replay window and count the outcomes so a retry
+  /// can be answered and accounting stays exact.  Returns false when the
+  /// slot is already closed — its stats were retired, so the caller must
+  /// count the completion as dropped instead.
+  [[nodiscard]] bool record_orphan(std::uint64_t request_id,
+                                   std::uint32_t ok_items,
+                                   std::uint32_t failed_items,
+                                   std::uint64_t rpc_ns,
+                                   std::vector<std::uint8_t> frame,
+                                   std::size_t window)
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    // relaxed: state_ transitions happen under retry_mutex_, which
+    // supplies the ordering here; the atomic exists for advisory reads.
+    if (state_.load(std::memory_order_relaxed) == AttachState::kClosed) {
+      return false;
+    }
+    decide_locked(request_id, std::move(frame), window);
+    for (std::uint32_t i = 0; i < ok_items; ++i) count_outcome(true, rpc_ns);
+    for (std::uint32_t i = 0; i < failed_items; ++i) {
+      count_outcome(false, rpc_ns);
+    }
+    return true;
+  }
+
+  // --- attach lifecycle (driven by the SessionManager) ---
+
+  /// Advisory read of the attach state (e.g. gauges); exactness-critical
+  /// decisions read it under retry_mutex_ inside record_orphan.
+  [[nodiscard]] AttachState attach_state() const {
+    // relaxed: advisory read; all decisions that must be exact take
+    // retry_mutex_ instead.
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  /// The connection currently owning this session.  A resume HELLO can
+  /// race the death of the previous connection (a proxy or middlebox cuts
+  /// both ends at once, and the two events land on different I/O
+  /// threads): resume() takes over a still-attached slot and bumps the
+  /// owner, and the late close of the old connection sees the mismatch
+  /// and leaves the session alone.  Mutated only under the
+  /// SessionManager's mutex, which supplies the ordering for every
+  /// decision made on it; the atomic exists for advisory reads.
+  [[nodiscard]] std::uint64_t owner_conn() const {
+    // relaxed: ordered by the SessionManager mutex where it matters.
+    return owner_conn_.load(std::memory_order_relaxed);
+  }
+  void set_owner_conn(std::uint64_t conn_id) {
+    // relaxed: ordered by the SessionManager mutex (see owner_conn()).
+    owner_conn_.store(conn_id, std::memory_order_relaxed);
+  }
+
+  /// Attached -> parked.  Returns false if the slot already closed.
+  [[nodiscard]] bool mark_parked() SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    // relaxed: guarded by retry_mutex_ (see record_orphan).
+    if (state_.load(std::memory_order_relaxed) == AttachState::kClosed) {
+      return false;
+    }
+    state_.store(AttachState::kParked, std::memory_order_relaxed);
+    return true;
+  }
+
+  void mark_attached() SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    // relaxed: guarded by retry_mutex_ (see record_orphan).
+    state_.store(AttachState::kAttached, std::memory_order_relaxed);
+  }
+
+  /// Permanently close and snapshot the final statistics in one critical
+  /// section: any record_orphan that counted before this call is ordered
+  /// before the snapshot (mutex release/acquire), and any after it sees
+  /// kClosed and counts as dropped — nothing is ever counted twice or
+  /// lost between a slot and the manager's retired totals.
+  [[nodiscard]] SessionStatsSnapshot mark_closed_and_snapshot()
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    // relaxed: guarded by retry_mutex_ (see record_orphan).
+    state_.store(AttachState::kClosed, std::memory_order_relaxed);
+    return snapshot();
+  }
 
   // --- cross-thread counters ---
   void count_request() {
@@ -111,7 +281,9 @@ class ClientSlot {
     SessionStatsSnapshot s;
     s.id = id;
     // relaxed loads: a snapshot is advisory; counters are monotonic and
-    // each is internally consistent on its own.
+    // each is internally consistent on its own.  (The one snapshot that
+    // must be exact — retirement — runs inside mark_closed_and_snapshot's
+    // critical section, where the mutex supplies the ordering.)
     s.requests = requests_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
     s.failed = failed_.load(std::memory_order_relaxed);
@@ -128,6 +300,43 @@ class ClientSlot {
   }
 
  private:
+  void decide_locked(std::uint64_t request_id, std::vector<std::uint8_t> frame,
+                     std::size_t window) SPMV_REQUIRES(retry_mutex_) {
+    if (auto it = inflight_.find(request_id); it != inflight_.end()) {
+      inflight_items_ -= std::min(inflight_items_, it->second);
+      inflight_.erase(it);
+    }
+    max_decided_id_ = std::max(max_decided_id_, request_id);
+    auto [it, inserted] = replay_.emplace(request_id, std::move(frame));
+    if (!inserted) return;  // double decide: keep the first recording
+    replay_order_.push_back(request_id);
+    while (window == 0 ? !replay_order_.empty()
+                       : replay_order_.size() > window) {
+      replay_.erase(replay_order_.front());
+      replay_order_.pop_front();
+    }
+  }
+
+  mutable Mutex retry_mutex_;
+  /// Decided replies, request id -> full encoded reply frame.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> replay_
+      SPMV_GUARDED_BY(retry_mutex_);
+  /// Insertion order of replay_ keys for window eviction.
+  std::deque<std::uint64_t> replay_order_ SPMV_GUARDED_BY(retry_mutex_);
+  /// Highest request id ever decided: anything at or below it that is
+  /// neither replayable nor in flight was evicted -> kRetryUnknown.
+  std::uint64_t max_decided_id_ SPMV_GUARDED_BY(retry_mutex_) = 0;
+  /// In-flight multiplies, request id -> item count.
+  std::unordered_map<std::uint64_t, std::uint32_t> inflight_
+      SPMV_GUARDED_BY(retry_mutex_);
+  std::uint32_t inflight_items_ SPMV_GUARDED_BY(retry_mutex_) = 0;
+  /// Attach lifecycle.  Mutated only under retry_mutex_; the atomic makes
+  /// the advisory attach_state() read legal without it.
+  std::atomic<AttachState> state_{AttachState::kAttached};
+  /// Owning connection id; mutated under the SessionManager mutex (that
+  /// mutex orders takeover-vs-close races), atomic for advisory reads.
+  std::atomic<std::uint64_t> owner_conn_{0};
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
@@ -140,33 +349,128 @@ class ClientSlot {
   serve::LatencyHistogram rpc_latency_;
 };
 
-/// Registry of live sessions: assigns ids, tracks the active set for the
-/// server-wide stats snapshot, and rolls a closing session's counters
-/// into cumulative totals so STATS never under-reports after churn.
+/// Registry of live and parked sessions: assigns ids and resume tokens,
+/// parks sessions across disconnects, re-attaches them on resume, reaps
+/// parked sessions whose deadline lapsed, and rolls a closing session's
+/// counters into cumulative totals so STATS never under-reports after
+/// churn.
 class SessionManager {
  public:
-  [[nodiscard]] std::shared_ptr<ClientSlot> open(std::uint32_t quota)
+  using Clock = std::chrono::steady_clock;
+
+  /// Outcome of a park attempt (the caller's cleanup differs per case).
+  enum class ParkResult : std::uint8_t {
+    kParked,     ///< slot parked; keep in-flight work running
+    kTakenOver,  ///< a resume already re-attached it elsewhere: hands off
+    kGone,       ///< already closed
+  };
+
+  [[nodiscard]] std::shared_ptr<ClientSlot> open(std::uint32_t quota,
+                                                 std::uint64_t owner_conn)
       SPMV_EXCLUDES(mutex_) {
     // relaxed: the id only needs uniqueness, not ordering against other
     // memory.
     const std::uint64_t id =
         next_id_.fetch_add(1, std::memory_order_relaxed);
-    auto slot = std::make_shared<ClientSlot>(id, quota);
     MutexLock lock(mutex_);
+    // `| 1` keeps the token nonzero: 0 in a HELLO means "no resume".
+    auto slot = std::make_shared<ClientSlot>(id, quota,
+                                             token_rng_.next_u64() | 1);
+    slot->set_owner_conn(owner_conn);
     slots_.emplace(id, slot);
     ++opened_;
     return slot;
   }
 
-  void close(std::uint64_t id) SPMV_EXCLUDES(mutex_) {
+  /// Attached -> parked until `deadline`, provided `owner_conn` still
+  /// owns the slot.  kTakenOver means a resume on another connection beat
+  /// this park — the caller must neither cancel the in-flight work nor
+  /// close the session.  The owner check and the park are one critical
+  /// section, so takeover-vs-park cannot interleave.
+  [[nodiscard]] ParkResult park(const std::shared_ptr<ClientSlot>& slot,
+                                Clock::time_point deadline,
+                                std::uint64_t owner_conn)
+      SPMV_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
-    auto it = slots_.find(id);
-    if (it == slots_.end()) return;
-    const SessionStatsSnapshot s = it->second->snapshot();
-    retired_completed_ += s.completed;
-    retired_failed_ += s.failed;
-    retired_requests_ += s.requests;
-    slots_.erase(it);
+    if (slot->owner_conn() != owner_conn) return ParkResult::kTakenOver;
+    if (!slot->mark_parked()) return ParkResult::kGone;
+    slots_.erase(slot->id);
+    parked_.emplace(slot->id, Parked{slot, deadline});
+    return ParkResult::kParked;
+  }
+
+  /// Re-attach a session for `new_owner`, if `token` matches.  Two cases:
+  /// parked (the usual reconnect, deadline-checked) and still-attached
+  /// takeover — the old connection is dead but its EOF has not been
+  /// processed yet (a proxy cutting both ends races the two I/O threads).
+  /// Clears the cached operand vector — the handoff of the
+  /// I/O-thread-owned protocol state to the new connection's thread is
+  /// ordered by this mutex, and the client re-ships full after resuming.
+  [[nodiscard]] std::shared_ptr<ClientSlot> resume(std::uint64_t id,
+                                                   std::uint64_t token,
+                                                   Clock::time_point now,
+                                                   std::uint64_t new_owner)
+      SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (auto it = parked_.find(id); it != parked_.end()) {
+      if (it->second.slot->resume_token != token ||
+          now >= it->second.deadline) {
+        return nullptr;
+      }
+      std::shared_ptr<ClientSlot> slot = std::move(it->second.slot);
+      parked_.erase(it);
+      slot->mark_attached();
+      slot->cached_x.reset();
+      slot->set_owner_conn(new_owner);
+      slots_.emplace(slot->id, slot);
+      return slot;
+    }
+    if (auto it = slots_.find(id); it != slots_.end()) {
+      if (it->second->resume_token != token) return nullptr;
+      std::shared_ptr<ClientSlot> slot = it->second;
+      slot->cached_x.reset();
+      slot->set_owner_conn(new_owner);  // the late close sees the mismatch
+      return slot;
+    }
+    return nullptr;
+  }
+
+  /// Retire a session.  `owner_conn` != 0 makes the close conditional on
+  /// still owning the slot (a connection's death must not close a session
+  /// that was taken over); 0 closes unconditionally (drain/stop).
+  void close(std::uint64_t id, std::uint64_t owner_conn = 0)
+      SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    std::shared_ptr<ClientSlot> slot;
+    if (auto it = slots_.find(id); it != slots_.end()) {
+      if (owner_conn != 0 && it->second->owner_conn() != owner_conn) return;
+      slot = std::move(it->second);
+      slots_.erase(it);
+    } else if (auto pit = parked_.find(id); pit != parked_.end()) {
+      slot = std::move(pit->second.slot);
+      parked_.erase(pit);
+    } else {
+      return;
+    }
+    retire_locked(*slot);
+  }
+
+  /// Close every parked session whose resume deadline lapsed.  Returns
+  /// how many were reaped.
+  [[nodiscard]] std::size_t reap_parked(Clock::time_point now)
+      SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    std::size_t reaped = 0;
+    for (auto it = parked_.begin(); it != parked_.end();) {
+      if (now < it->second.deadline) {
+        ++it;
+        continue;
+      }
+      retire_locked(*it->second.slot);
+      it = parked_.erase(it);
+      ++reaped;
+    }
+    return reaped;
   }
 
   [[nodiscard]] std::size_t active() const SPMV_EXCLUDES(mutex_) {
@@ -174,7 +478,13 @@ class SessionManager {
     return slots_.size();
   }
 
-  /// Cumulative item totals: live sessions plus everything retired.
+  [[nodiscard]] std::size_t parked() const SPMV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return parked_.size();
+  }
+
+  /// Cumulative item totals: live and parked sessions plus everything
+  /// retired.
   struct Totals {
     std::uint64_t opened = 0;
     std::uint64_t requests = 0;
@@ -190,19 +500,37 @@ class SessionManager {
     t.completed = retired_completed_;
     t.failed = retired_failed_;
     t.active = slots_.size();
-    for (const auto& [id, slot] : slots_) {
-      const SessionStatsSnapshot s = slot->snapshot();
+    const auto add = [&t](const ClientSlot& slot) {
+      const SessionStatsSnapshot s = slot.snapshot();
       t.requests += s.requests;
       t.completed += s.completed;
       t.failed += s.failed;
-    }
+    };
+    for (const auto& [id, slot] : slots_) add(*slot);
+    for (const auto& [id, p] : parked_) add(*p.slot);
     return t;
   }
 
  private:
+  struct Parked {
+    std::shared_ptr<ClientSlot> slot;
+    Clock::time_point deadline;
+  };
+
+  void retire_locked(ClientSlot& slot) SPMV_REQUIRES(mutex_) {
+    const SessionStatsSnapshot s = slot.mark_closed_and_snapshot();
+    retired_completed_ += s.completed;
+    retired_failed_ += s.failed;
+    retired_requests_ += s.requests;
+  }
+
   mutable Mutex mutex_;
   std::map<std::uint64_t, std::shared_ptr<ClientSlot>> slots_
       SPMV_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, Parked> parked_ SPMV_GUARDED_BY(mutex_);
+  /// Resume tokens need uniqueness, not cryptographic strength (the wire
+  /// is plaintext); a fixed-seed Prng keeps them deterministic per run.
+  Prng token_rng_ SPMV_GUARDED_BY(mutex_){0x5e551044'cafef00dULL};
   std::uint64_t opened_ SPMV_GUARDED_BY(mutex_) = 0;
   std::uint64_t retired_requests_ SPMV_GUARDED_BY(mutex_) = 0;
   std::uint64_t retired_completed_ SPMV_GUARDED_BY(mutex_) = 0;

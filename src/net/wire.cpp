@@ -62,6 +62,8 @@ const char* to_string(StatusCode code) {
     case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
     case StatusCode::kBusy: return "BUSY";
     case StatusCode::kConnectionLost: return "CONNECTION_LOST";
+    case StatusCode::kRetryUnknown: return "RETRY_UNKNOWN";
+    case StatusCode::kRetryPending: return "RETRY_PENDING";
   }
   return "?";
 }
@@ -168,13 +170,16 @@ std::vector<std::uint8_t> encode_hello(const HelloRequest& r) {
   w.put_u32(r.app_version);
   w.put_u32(r.requested_quota);
   w.put_string(r.client_name);
+  w.put_u64(r.resume_session_id);
+  w.put_u64(r.resume_token);
   return w.take();
 }
 
 bool decode_hello(std::span<const std::uint8_t> p, HelloRequest& out) {
   ByteReader r(p);
   return r.get_u32(out.app_version) && r.get_u32(out.requested_quota) &&
-         r.get_string(out.client_name) && r.remaining() == 0;
+         r.get_string(out.client_name) && r.get_u64(out.resume_session_id) &&
+         r.get_u64(out.resume_token) && r.remaining() == 0;
 }
 
 std::vector<std::uint8_t> encode_hello_ok(const HelloOk& r) {
@@ -183,6 +188,8 @@ std::vector<std::uint8_t> encode_hello_ok(const HelloOk& r) {
   w.put_u32(r.quota);
   w.put_u64(r.max_payload);
   w.put_u32(r.app_version);
+  w.put_u64(r.resume_token);
+  w.put_u8(r.resumed);
   return w.take();
 }
 
@@ -190,6 +197,7 @@ bool decode_hello_ok(std::span<const std::uint8_t> p, HelloOk& out) {
   ByteReader r(p);
   return r.get_u64(out.session_id) && r.get_u32(out.quota) &&
          r.get_u64(out.max_payload) && r.get_u32(out.app_version) &&
+         r.get_u64(out.resume_token) && r.get_u8(out.resumed) &&
          r.remaining() == 0;
 }
 
@@ -206,7 +214,7 @@ bool decode_status(std::span<const std::uint8_t> p, StatusMsg& out) {
   if (!r.get_u8(code) || !r.get_string(out.message) || r.remaining() != 0) {
     return false;
   }
-  if (code > static_cast<std::uint8_t>(StatusCode::kConnectionLost)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kRetryPending)) {
     return false;
   }
   out.code = static_cast<StatusCode>(code);
@@ -406,7 +414,7 @@ bool decode_multiply_batch_result(std::span<const std::uint8_t> p,
     std::uint8_t status = 0;
     std::uint32_t n = 0;
     if (!r.get_u8(status) ||
-        status > static_cast<std::uint8_t>(StatusCode::kConnectionLost) ||
+        status > static_cast<std::uint8_t>(StatusCode::kRetryPending) ||
         !r.get_u32(n)) {
       return false;
     }

@@ -96,6 +96,14 @@ enum class StatusCode : std::uint8_t {
   kProtocolError = 10,    ///< wire-level violation; connection closes
   kBusy = 11,             ///< queue full (non-shed policies) / no slots
   kConnectionLost = 12,   ///< client-side synthetic: transport died
+  /// Retry of a multiply whose replay-cache entry was evicted: the server
+  /// genuinely does not know the outcome.  NOT safely retryable — the
+  /// caller must decide whether re-executing is acceptable.
+  kRetryUnknown = 13,
+  /// Retry of a multiply that is still executing (in flight from a prior
+  /// connection of this session).  Safely retryable: back off and re-send
+  /// the same request id; once it decides, the replay cache answers.
+  kRetryPending = 14,
 };
 
 [[nodiscard]] const char* to_string(StatusCode code);
@@ -153,6 +161,14 @@ struct HelloRequest {
   std::uint32_t app_version = kWireVersion;
   std::uint32_t requested_quota = 0;  ///< 0 = server default
   std::string client_name;
+  /// Resumption of a prior session after a reconnect: the session id and
+  /// the resume token HELLO_OK issued for it.  0 = fresh session.  On a
+  /// successful resume the server restores quota, statistics, in-flight
+  /// bookkeeping and the reply-replay window; the cached operand vector
+  /// is intentionally NOT restored (the client ships full and rebuilds
+  /// the delta base).
+  std::uint64_t resume_session_id = 0;
+  std::uint64_t resume_token = 0;
 };
 
 struct HelloOk {
@@ -160,6 +176,12 @@ struct HelloOk {
   std::uint32_t quota = 0;           ///< granted in-flight quota
   std::uint64_t max_payload = 0;     ///< server's frame payload limit
   std::uint32_t app_version = kWireVersion;
+  /// Present resume_token back in a later HELLO to resume this session.
+  std::uint64_t resume_token = 0;
+  /// 1 when this HELLO_OK resumed the requested prior session; 0 when a
+  /// fresh session was opened (no resume requested, or it was rejected —
+  /// the client must treat any unacknowledged multiplies as unknown).
+  std::uint8_t resumed = 0;
 };
 
 struct StatusMsg {

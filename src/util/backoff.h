@@ -1,0 +1,114 @@
+// Retry pacing primitives for clients of flaky transports: capped
+// exponential backoff with decorrelated jitter, and a three-state
+// circuit breaker.
+//
+// Backoff follows the "decorrelated jitter" recipe (Brooker, AWS
+// architecture blog): each delay is drawn uniformly from
+// [base, prev * 3] and clamped to [base, cap].  Unlike plain
+// exponential-with-jitter, consecutive delays are decorrelated through
+// the random draw rather than the attempt index, which empirically
+// spreads synchronized retry herds fastest.  The draw comes from the
+// repo's deterministic Prng, so a seeded client replays the exact same
+// ladder — the chaos soak depends on that.
+//
+// CircuitBreaker is the classic closed -> open -> half-open machine:
+// `failures_to_open` consecutive transport failures open it; while open,
+// allow() fails fast (no socket is touched) until `cooldown` elapses;
+// the first allow() after cooldown is the half-open probe — its success
+// closes the breaker, its failure re-opens it for another cooldown.
+// Single-threaded by design, like the client that owns it.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/prng.h"
+
+namespace spmv {
+
+class Backoff {
+ public:
+  Backoff(std::chrono::milliseconds base, std::chrono::milliseconds cap,
+          std::uint64_t seed)
+      : base_(base.count() > 0 ? base : std::chrono::milliseconds{1}),
+        cap_(std::max(cap, base_)),
+        prev_(base_),
+        rng_(seed) {}
+
+  /// The next delay to sleep: uniform in [base, prev * 3], clamped to cap.
+  [[nodiscard]] std::chrono::milliseconds next() {
+    const auto lo = static_cast<std::uint64_t>(base_.count());
+    const auto hi = std::min(static_cast<std::uint64_t>(cap_.count()),
+                             static_cast<std::uint64_t>(prev_.count()) * 3);
+    const std::uint64_t span = hi > lo ? hi - lo + 1 : 1;
+    prev_ = std::chrono::milliseconds(
+        static_cast<std::int64_t>(lo + rng_.next_below(span)));
+    return prev_;
+  }
+
+  /// Back to the first-retry delay (call after a success).
+  void reset() { prev_ = base_; }
+
+ private:
+  std::chrono::milliseconds base_;
+  std::chrono::milliseconds cap_;
+  std::chrono::milliseconds prev_;
+  Prng rng_;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreaker(int failures_to_open, std::chrono::milliseconds cooldown)
+      : failures_to_open_(failures_to_open < 1 ? 1 : failures_to_open),
+        cooldown_(cooldown) {}
+
+  /// May the caller attempt a transport operation right now?  While open,
+  /// returns false until the cooldown elapses; the first true after that
+  /// is the half-open probe (exactly one in flight by construction — the
+  /// owning client is single-threaded).
+  [[nodiscard]] bool allow(Clock::time_point now = Clock::now()) {
+    if (state_ == State::kOpen) {
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;
+    }
+    return true;
+  }
+
+  /// A transport operation succeeded: close from any state.
+  void record_success() {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+  }
+
+  /// A transport operation failed.  Returns true when this failure
+  /// transitioned the breaker to open (for event counting).
+  bool record_failure(Clock::time_point now = Clock::now()) {
+    ++consecutive_failures_;
+    const bool tripping =
+        state_ == State::kHalfOpen ||
+        (state_ == State::kClosed &&
+         consecutive_failures_ >= failures_to_open_);
+    if (tripping) {
+      state_ = State::kOpen;
+      open_until_ = now + cooldown_;
+    }
+    return tripping;
+  }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] Clock::time_point open_until() const { return open_until_; }
+
+ private:
+  const int failures_to_open_;
+  const std::chrono::milliseconds cooldown_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point open_until_{};
+};
+
+}  // namespace spmv

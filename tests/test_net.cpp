@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos_proxy.h"
 #include "net/client.h"
 
 namespace spmv::net {
@@ -345,9 +346,12 @@ TEST(NetLoopback, RejectedMultiplyKeepsCacheInSync) {
   // Pipelined past the quota: rejected, but its delta advanced both the
   // shadow (at send) and the server cache (at admission).
   const auto b = loop.client->begin_multiply("A", x);
+  // Await the rejection while the scheduler is still paused: `a` cannot
+  // complete yet, so the server reads b's frame with the quota full —
+  // resuming first would race b's admission against a's completion.
+  ASSERT_EQ(loop.client->await(b).status, StatusCode::kQuotaExceeded);
   loop.server.scheduler().resume();
   ASSERT_EQ(loop.client->await(a).status, StatusCode::kOk);
-  ASSERT_EQ(loop.client->await(b).status, StatusCode::kQuotaExceeded);
   x[200] += 2.0;
   const auto r = loop.client->multiply("A", x);
   ASSERT_EQ(r.status, StatusCode::kOk) << r.message;
@@ -591,6 +595,98 @@ TEST(NetLoopback, MultiClientSmoke) {
   EXPECT_EQ(failures.load(std::memory_order_relaxed), 0);
   const auto totals = loop.server.sessions().totals();
   EXPECT_GE(totals.completed, static_cast<std::uint64_t>(kClients * kSteps));
+}
+
+// A storm of abrupt connection kills — alternating mid-reply cuts and
+// idle cuts — with session resume enabled must leak nothing: exactly one
+// session serves the whole storm (every reconnect resumes it), every
+// multiply executes exactly once, no completion is dropped, and a clean
+// GOODBYE releases the session and its replay-cache pins.
+TEST(NetLoopback, ReconnectStormLeaksNoSessionsOrCompletions) {
+  ServerConfig cfg;
+  cfg.resume_timeout = 5000ms;
+  SpmvServer server(cfg);
+  server.start();
+  const TestMatrix m = tridiag(129);
+
+  ChaosProxyConfig pcfg;
+  pcfg.upstream_port = server.port();
+  ChaosProxy proxy(pcfg);
+  proxy.start();
+
+  ClientOptions copts;
+  copts.port = proxy.port();
+  copts.timeout = 500ms;
+  copts.rpc_budget = 10000ms;
+  copts.retry.enabled = true;
+  copts.retry.backoff_base = 1ms;
+  copts.retry.backoff_cap = 10ms;
+  auto client = std::make_unique<SpmvNetClient>(copts);
+  client->connect();
+  ASSERT_EQ(
+      client->upload("A", m.n, m.n, m.row_ptr, m.col_idx, m.values).status,
+      StatusCode::kOk);
+
+  int ops = 0;
+  const auto checked_multiply = [&](int tag) {
+    const auto x = random_x(m.n, 300 + tag);
+    const auto r = client->multiply("A", x);
+    ASSERT_EQ(r.status, StatusCode::kOk) << "op " << tag << ": " << r.message;
+    const auto want = reference(m, x);
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      ASSERT_NEAR(r.y[j], want[j], 1e-12) << "op " << tag;
+    }
+    ++ops;
+  };
+
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    // This multiply reconnects first if the previous round cut the
+    // connection while it sat idle.
+    checked_multiply(round);
+    if (testing::Test::HasFatalFailure()) return;
+    if (round % 2 == 0) {
+      // Even rounds: with the connection now healthy, drop exactly the
+      // next RESULT frame — forcing a resume + retransmission answered
+      // from the replay window.
+      proxy.kill_on_next_downstream();
+      checked_multiply(100 + round);
+      if (testing::Test::HasFatalFailure()) return;
+    } else {
+      // Odd rounds: cut the connection while idle instead.
+      proxy.kill_all();
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  // Heal the final odd-round kill so close() below can say GOODBYE.
+  checked_multiply(999);
+  if (testing::Test::HasFatalFailure()) return;
+
+  // Exactly one kill per round, one reconnect per kill, and every
+  // reconnect resumed the original session — no session churn.
+  EXPECT_GE(client->counters().reconnects, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(client->counters().resumes, client->counters().reconnects);
+  EXPECT_EQ(server.net_stats().sessions_opened, 1u);
+  EXPECT_EQ(server.sessions().active() + server.sessions().parked(), 1u);
+  // Exactly-once under the storm: each round's multiply executed once;
+  // the even rounds were completed via replay, not re-execution.
+  EXPECT_EQ(server.scheduler().stats().total_completed(),
+            static_cast<std::uint64_t>(ops));
+  EXPECT_GE(server.net_stats().replay_hits, 1u);
+  // Exact completion accounting: with resume holding orphans for
+  // replay, the storm dropped nothing.
+  EXPECT_EQ(server.net_stats().completions_dropped, 0u);
+
+  // A clean exit (the destructor's GOODBYE) is permanent: the session
+  // must not linger parked, which would pin its replay cache until the
+  // reaper got to it.
+  client.reset();
+  ASSERT_TRUE(wait_until([&] {
+    return server.sessions().active() == 0 && server.sessions().parked() == 0;
+  }));
+  EXPECT_EQ(server.net_stats().parked_reaped, 0u);
+  proxy.stop();
+  server.stop();
 }
 
 }  // namespace

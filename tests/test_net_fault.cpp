@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos_proxy.h"
 #include "net/client.h"
 #include "net/server.h"
 
@@ -252,6 +253,106 @@ TEST(FaultNet, FaultStormNeverLosesOrDoublesReplies) {
   // Every admitted request was answered or its completion was dropped
   // against a dead connection — nothing is still pending after stop().
   EXPECT_GE(s.responses + s.completions_dropped, s.requests);
+}
+
+// net.resume_reject: the server refuses every resume offer, as if the
+// parked session were already reaped.  The client must fall back to a
+// fresh session and still complete the call — exactly-once degrades to
+// at-least-once only in this configured worst case, never to zero.
+TEST(FaultNet, ResumeRejectedFallsBackToFreshSession) {
+  FaultArm arm(0x4E5137);
+  FaultInjector::instance().set_rate("net.resume_reject", 1.0);
+
+  ServerConfig cfg;
+  cfg.resume_timeout = 2000ms;
+  SpmvServer server(cfg);
+  server.start();
+  const TestMatrix m = tridiag(65);
+
+  ChaosProxyConfig pcfg;
+  pcfg.upstream_port = server.port();
+  ChaosProxy proxy(pcfg);
+  proxy.start();
+
+  ClientOptions copts;
+  copts.port = proxy.port();
+  copts.timeout = 1000ms;
+  copts.rpc_budget = 10000ms;
+  copts.retry.enabled = true;
+  copts.retry.backoff_base = 1ms;
+  copts.retry.backoff_cap = 10ms;
+  SpmvNetClient client(copts);
+  client.connect();
+  ASSERT_EQ(
+      client.upload("A", m.n, m.n, m.row_ptr, m.col_idx, m.values).status,
+      StatusCode::kOk);
+  const auto x = random_x(m.n, 7);
+  ASSERT_EQ(client.multiply("A", x).status, StatusCode::kOk);
+
+  proxy.kill_all();
+  std::this_thread::sleep_for(20ms);
+
+  const auto r = client.multiply("A", x);
+  EXPECT_EQ(r.status, StatusCode::kOk) << r.message;
+  EXPECT_FALSE(client.resumed()) << "resume must have been rejected";
+  EXPECT_GE(client.counters().resume_rejected, 1u);
+  EXPECT_GE(server.net_stats().resume_rejected, 1u);
+  EXPECT_GE(server.net_stats().sessions_opened, 2u);
+
+  client.close();
+  proxy.stop();
+  server.stop();
+}
+
+// net.replay_evict: every decided reply is evicted from the replay
+// window immediately, so a retransmission of an executed-but-unacked
+// multiply gets the honest kRetryUnknown answer — and, critically, is
+// NOT blindly re-executed (the decided-id watermark still classifies
+// it as a retransmission).
+TEST(FaultNet, ReplayEvictedRetryAnswersUnknownWithoutReExecution) {
+  FaultArm arm(0xE71C7);
+  FaultInjector::instance().set_rate("net.replay_evict", 1.0);
+
+  ServerConfig cfg;
+  cfg.resume_timeout = 2000ms;
+  SpmvServer server(cfg);
+  server.start();
+  const TestMatrix m = tridiag(65);
+
+  ChaosProxyConfig pcfg;
+  pcfg.upstream_port = server.port();
+  ChaosProxy proxy(pcfg);
+  proxy.start();
+
+  ClientOptions copts;
+  copts.port = proxy.port();
+  copts.timeout = 1000ms;
+  copts.rpc_budget = 10000ms;
+  copts.retry.enabled = true;
+  copts.retry.backoff_base = 1ms;
+  copts.retry.backoff_cap = 10ms;
+  SpmvNetClient client(copts);
+  client.connect();
+  ASSERT_EQ(
+      client.upload("A", m.n, m.n, m.row_ptr, m.col_idx, m.values).status,
+      StatusCode::kOk);
+  const auto x = random_x(m.n, 8);
+  ASSERT_EQ(client.multiply("A", x).status, StatusCode::kOk);
+  ASSERT_EQ(server.scheduler().stats().total_completed(), 1u);
+
+  // Drop exactly the next RESULT frame: the multiply executes, the
+  // client never sees the reply, and the replay entry is already gone.
+  proxy.kill_on_next_downstream();
+  const auto r = client.multiply("A", x);
+  EXPECT_EQ(r.status, StatusCode::kRetryUnknown) << r.message;
+  // Executed once; the retransmission was answered, not re-run.
+  EXPECT_EQ(server.scheduler().stats().total_completed(), 2u);
+  EXPECT_GE(server.net_stats().retry_unknown, 1u);
+  EXPECT_GE(client.counters().resumes, 1u);
+
+  client.close();
+  proxy.stop();
+  server.stop();
 }
 
 }  // namespace

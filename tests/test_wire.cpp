@@ -151,20 +151,28 @@ TEST(WirePayload, HelloRoundTrip) {
   HelloRequest in;
   in.requested_quota = 64;
   in.client_name = "solver-7";
+  in.resume_session_id = 0x1122334455667788ULL;
+  in.resume_token = 0xdeadbeefcafef00dULL;
   HelloRequest out;
   ASSERT_TRUE(decode_hello(encode_hello(in), out));
   EXPECT_EQ(out.requested_quota, 64u);
   EXPECT_EQ(out.client_name, "solver-7");
+  EXPECT_EQ(out.resume_session_id, in.resume_session_id);
+  EXPECT_EQ(out.resume_token, in.resume_token);
 
   HelloOk ok_in;
   ok_in.session_id = 99;
   ok_in.quota = 32;
   ok_in.max_payload = 1 << 20;
+  ok_in.resume_token = 0x0123456789abcdefULL;
+  ok_in.resumed = 1;
   HelloOk ok_out;
   ASSERT_TRUE(decode_hello_ok(encode_hello_ok(ok_in), ok_out));
   EXPECT_EQ(ok_out.session_id, 99u);
   EXPECT_EQ(ok_out.quota, 32u);
   EXPECT_EQ(ok_out.max_payload, 1u << 20);
+  EXPECT_EQ(ok_out.resume_token, ok_in.resume_token);
+  EXPECT_EQ(ok_out.resumed, 1u);
 }
 
 TEST(WirePayload, StatusRoundTrip) {
