@@ -476,7 +476,28 @@ std::pair<FrameType, std::vector<std::uint8_t>> SpmvNetClient::retry_call(
     ++attempts;
     try {
       if (fd_ < 0) {
+        const bool had_session = resume_session_id_ != 0;
         connect_internal(std::min(deadline, Clock::now() + options_.timeout));
+        if (had_session && !last_resumed_ && !first) {
+          // This request was already transmitted at least once, and the
+          // server refused to resume the session whose replay window
+          // would hold its outcome (reaped, or net.resume_reject):
+          // retransmitting on the fresh session would blindly re-execute
+          // a multiply that may have run.  HELLO_OK with resumed == 0
+          // means unacknowledged work is UNKNOWN — surface exactly that,
+          // terminally; re-issuing under a NEW id is the caller's
+          // decision.  The fresh connection itself is healthy and stays
+          // usable.
+          ++counters_.retry_abandoned;
+          breaker_.record_success();
+          backoff_.reset();
+          StatusMsg m;
+          m.code = StatusCode::kRetryUnknown;
+          m.message =
+              "session resume rejected on reconnect; outcome of the "
+              "retransmitted request is unknown";
+          return {FrameType::kStatus, encode_status(m)};
+        }
       }
       // Each attempt gets one transport-level `timeout`, all of it inside
       // the ladder's cumulative budget.

@@ -28,7 +28,12 @@
 // per-syscall), and a three-state circuit breaker fails fast while the
 // server stays unreachable.  kRetryPending re-arms the ladder;
 // kRetryUnknown is terminal — the server genuinely lost the outcome and
-// the caller must decide whether re-issuing is safe.
+// the caller must decide whether re-issuing is safe.  A reconnect whose
+// resume offer is REJECTED while a retransmission is pending ends the
+// ladder the same way: the replay window that knew the outcome is gone,
+// so the ladder answers kRetryUnknown rather than re-executing on the
+// fresh session (HELLO_OK.resumed == 0 means unacknowledged work is
+// unknown).
 //
 // Request/response calls (`multiply`, `upload`, ...) are synchronous.
 // `begin_multiply` + `await` expose the protocol's pipelining: many
@@ -192,6 +197,10 @@ class SpmvNetClient {
     std::uint64_t resumes = 0;        ///< HELLO_OK carried resumed=1
     std::uint64_t resume_rejected = 0;  ///< resume offered but refused
     std::uint64_t retry_pending = 0;  ///< kRetryPending replies observed
+    /// Retransmissions abandoned because the reconnect's resume was
+    /// rejected: the replay window that knew the outcome is gone, so the
+    /// RPC terminates with kRetryUnknown instead of re-executing.
+    std::uint64_t retry_abandoned = 0;
     std::uint64_t breaker_open_events = 0;  ///< closed/half-open -> open
     std::uint64_t breaker_fast_fails = 0;   ///< calls refused while open
   };

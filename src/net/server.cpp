@@ -568,7 +568,7 @@ void SpmvServer::handle_readable(IoThread& io, Conn& conn) {
 void SpmvServer::handle_frame(IoThread& io, Conn& conn,
                               const FrameHeader& header,
                               std::span<const std::uint8_t> payload) {
-  if (header.flags != 0) {  // reserved in version 1
+  if (header.flags != 0) {  // reserved through wire version 2
     // relaxed: statistics counter.
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     send_status(conn, header.request_id, StatusCode::kProtocolError,
@@ -627,6 +627,20 @@ void SpmvServer::handle_frame(IoThread& io, Conn& conn,
     send_status(conn, header.request_id, StatusCode::kProtocolError,
                 "HELLO required first");
     conn.closing = true;
+    return;
+  }
+
+  // A resume on another connection may have taken this session over
+  // while this (now stale) connection still had frames buffered: the new
+  // owner's thread is using the slot, so processing anything more here
+  // would put two threads behind one session.  Kill the stale connection
+  // without a reply — its close is owner-conditional and leaves the
+  // session alone.  The check is advisory (owner_conn is a relaxed read;
+  // a stale value only delays the kill by one frame): the slot state
+  // both threads can reach in that window — the operand cache and the
+  // admission ledger — is mutex-guarded in ClientSlot.
+  if (conn.slot->owner_conn() != conn.id) {
+    conn.kill = true;
     return;
   }
 
@@ -763,7 +777,7 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   std::vector<std::uint64_t> shipped;
   xs.reserve(k);
   shipped.reserve(k);
-  std::shared_ptr<const std::vector<double>> cur = slot.cached_x;
+  std::shared_ptr<const std::vector<double>> cur = slot.cached_x();
   for (OperandSpec& spec : req.operands) {
     shipped.push_back(operand_wire_bytes(spec));
     switch (spec.mode) {
@@ -807,7 +821,7 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   // structural-failure case by dropping its shadow on
   // kBadRequest/kProtocolError replies.  (Retransmissions never reach
   // this point — they were answered by the classification above.)
-  slot.cached_x = cur;
+  slot.set_cached_x(cur);
 
   // acquire: pairs with stop()'s release; draining admits nothing new.
   if (draining_.load(std::memory_order_acquire)) {
@@ -815,7 +829,11 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
                   "server draining");
     return;
   }
-  if (slot.inflight_items() + k > slot.quota) {
+  // Quota check and reservation are one critical section (try_admit), so
+  // admission stays exact even if a takeover briefly leaves two threads
+  // behind this slot.  Every rejection path below releases the
+  // reservation via decide_status -> ClientSlot::decide.
+  if (!slot.try_admit(header.request_id, k)) {
     decide_status(conn, slot, header.request_id,
                   StatusCode::kQuotaExceeded, "session quota exhausted");
     return;
@@ -855,9 +873,6 @@ void SpmvServer::handle_multiply(IoThread& io, Conn& conn,
   }
   // relaxed: statistics counter.
   requests_.fetch_add(k, std::memory_order_relaxed);
-  // Admission is single-writer (only the attached connection's thread
-  // admits), so the quota check above cannot race another admit.
-  slot.admit(header.request_id, k);
 
   const auto now = Clock::now();
   serve::SubmitOptions base;
@@ -1194,8 +1209,9 @@ void SpmvServer::queue_frame(Conn& conn, std::vector<std::uint8_t> frame) {
 
 void SpmvServer::decide_and_send(Conn& conn, ClientSlot& slot,
                                  std::uint64_t request_id,
-                                 std::vector<std::uint8_t> frame) {
-  slot.decide(request_id, frame, config_.replay_window);
+                                 std::vector<std::uint8_t> frame,
+                                 bool executed) {
+  slot.decide(request_id, frame, config_.replay_window, executed);
   if (SPMV_FAULT_POINT("net.replay_evict")) {
     // Simulated premature eviction: a retry of this id now answers
     // kRetryUnknown instead of replaying — the client-visible worst case.
@@ -1220,7 +1236,10 @@ void SpmvServer::decide_status(Conn& conn, ClientSlot& slot,
     conn.kill = true;
     return;
   }
-  decide_and_send(conn, slot, request_id, std::move(frame));
+  // Rejections never executed: they are windowed separately so a burst
+  // of them cannot evict executed results from the replay window.
+  decide_and_send(conn, slot, request_id, std::move(frame),
+                  /*executed=*/false);
 }
 
 void SpmvServer::flush_writes(Conn& conn) {

@@ -85,6 +85,8 @@ struct ServerConfig {
   /// Decided multiply replies kept per session for retransmission.  A
   /// retry inside the window re-sends the recorded reply verbatim
   /// (exactly-once effect); a retry past it answers kRetryUnknown.
+  /// Executed results and pre-execution rejections each get a window of
+  /// this size, so rejection bursts cannot evict executed results.
   std::size_t replay_window = 64;
   /// A partial frame header must complete within this long of its first
   /// byte, and a partial payload within body_timeout — defeats
@@ -213,11 +215,14 @@ class SpmvServer {
   /// Enqueue an already-encoded frame and try to flush.
   void queue_frame(Conn& conn, std::vector<std::uint8_t> frame);
   /// Record `frame` as the decision for `request_id` in the session's
-  /// replay window, then send it.
+  /// replay window (`executed` false routes it to the separate rejection
+  /// window so rejections never evict executed results), then send it.
   void decide_and_send(Conn& conn, ClientSlot& slot,
                        std::uint64_t request_id,
-                       std::vector<std::uint8_t> frame);
-  /// decide_and_send of a STATUS frame (terminal multiply rejections).
+                       std::vector<std::uint8_t> frame,
+                       bool executed = true);
+  /// decide_and_send of a STATUS frame (terminal multiply rejections —
+  /// never executed, so they land in the rejection window).
   void decide_status(Conn& conn, ClientSlot& slot, std::uint64_t request_id,
                      StatusCode code, const std::string& message);
   void flush_writes(Conn& conn);

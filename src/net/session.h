@@ -4,21 +4,27 @@
 // enabled: an abrupt connection loss *parks* the session (bounded by the
 // server's resume deadline) and a later HELLO carrying the session's
 // resume token re-attaches it.  Its *protocol* state — the cached operand
-// vector deltas apply to — is owned by the I/O thread of the currently
-// attached connection and handed off through the SessionManager's mutex
-// at park/resume; no lock is taken on the frame-handling fast path for
-// it.  The *retry* state (reply-replay window, in-flight id map) is read
-// and written from whichever I/O thread owns the attached connection AND
-// from the thread delivering a completion for a connection that already
-// died, so it lives under a per-slot mutex.  *Statistics* are relaxed
-// atomics as before.
+// vector deltas apply to, and the quota admission ledger — lives under a
+// per-slot mutex: a resume can take over a still-attached slot whose old
+// connection's I/O thread is still draining buffered frames (the server
+// kills that stale connection the moment it notices the ownership
+// change, but until then two threads can genuinely reach the slot), so
+// no slot state may rely on single-thread ownership.  The *retry* state
+// (reply-replay windows, in-flight id map) shares the same mutex — it is
+// additionally reached by the thread delivering a completion for a
+// connection that already died.  *Statistics* are relaxed atomics as
+// before.
 //
 // Exactly-once effect semantics hang off the retry state: every decided
 // multiply (result or terminal error) is recorded in a bounded replay
 // window keyed by request id.  A retransmitted id is answered from the
-// window verbatim — the multiply never re-executes.  Ids still executing
-// answer kRetryPending; ids decided so long ago that their entry was
-// evicted answer kRetryUnknown (the server refuses to guess).  The
+// window verbatim — the multiply never re-executes.  Executed outcomes
+// and pre-execution rejections (quota, shutdown, malformed, ...) are
+// tracked in two separate bounded windows so a burst of rejections can
+// never evict a genuinely executed result, whose retry would otherwise
+// degrade from replay to kRetryUnknown.  Ids still executing answer
+// kRetryPending; ids decided so long ago that their entry was evicted
+// answer kRetryUnknown (the server refuses to guess).  The
 // classification relies on the protocol rule that a session's multiply
 // request ids are strictly increasing except for retransmissions — the
 // in-tree client's monotone id counter guarantees it.
@@ -77,10 +83,12 @@ enum class RetryClass : std::uint8_t {
   kUnknown,  ///< decided but evicted: answer kRetryUnknown
 };
 
-/// One client's session.  `cached_x`/`client_name` belong to the attached
-/// connection's I/O thread (handed off under the SessionManager mutex);
-/// retry state lives under `retry_mutex_`; counters may be read from any
-/// thread.
+/// One client's session.  The operand cache, the admission ledger, and
+/// the retry state all live under `retry_mutex_` (a resume takeover can
+/// put two I/O threads behind one slot for a moment — see the file
+/// comment); `client_name` is written once before HELLO_OK ships, while
+/// no other thread can possibly hold the resume token; counters may be
+/// read from any thread.
 class ClientSlot {
  public:
   ClientSlot(std::uint64_t id, std::uint32_t quota, std::uint64_t token)
@@ -96,15 +104,28 @@ class ClientSlot {
   /// accidental cross-client resumption.
   const std::uint64_t resume_token;
 
-  // --- I/O-thread-owned protocol state ---
-  // Touched only by the attached connection's thread; park/resume hand
-  // ownership to the next thread through the SessionManager mutex.
+  /// Written exactly once, on the fresh-session HELLO path, before the
+  /// HELLO_OK carrying the resume token ships — no other thread can
+  /// reach the slot yet, so this needs no guard.
   std::string client_name;
+
+  // --- operand cache (guarded: resume takeover can race the stale
+  // connection's last buffered frames) ---
+
   /// The session's cached operand vector.  Copy-on-write: delta/full
   /// updates publish a fresh vector; in-flight requests keep pinning the
   /// snapshot they were submitted with.  Cleared on resume — the client
   /// re-ships full after a reconnect.
-  std::shared_ptr<const std::vector<double>> cached_x;
+  [[nodiscard]] std::shared_ptr<const std::vector<double>> cached_x()
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    return cached_x_;
+  }
+  void set_cached_x(std::shared_ptr<const std::vector<double>> x)
+      SPMV_EXCLUDES(retry_mutex_) {
+    MutexLock lock(retry_mutex_);
+    cached_x_ = std::move(x);
+  }
 
   // --- retry / replay state (shared with orphan-completion delivery) ---
 
@@ -118,6 +139,10 @@ class ClientSlot {
       replay_frame = it->second;
       return RetryClass::kReplay;
     }
+    if (auto it = rejected_.find(request_id); it != rejected_.end()) {
+      replay_frame = it->second;
+      return RetryClass::kReplay;
+    }
     if (inflight_.count(request_id) != 0) return RetryClass::kPending;
     if (max_decided_id_ != 0 && request_id <= max_decided_id_) {
       return RetryClass::kUnknown;
@@ -125,31 +150,31 @@ class ClientSlot {
     return RetryClass::kNew;
   }
 
-  /// Multiply items currently in flight (admission: must stay <= quota).
-  /// In-flight work survives a park, so quota cannot be evaded by
-  /// reconnecting.
-  [[nodiscard]] std::uint32_t inflight_items() SPMV_EXCLUDES(retry_mutex_) {
-    MutexLock lock(retry_mutex_);
-    return inflight_items_;
-  }
-
-  /// Record an admitted multiply/batch.  The caller has already checked
-  /// quota; admissions only ever come from the attached connection's
-  /// thread, so check-then-admit cannot over-admit.
-  void admit(std::uint64_t request_id, std::uint32_t items)
+  /// Admission check and reservation in ONE critical section: reserves
+  /// `items` in-flight slots for `request_id` unless that would exceed
+  /// the quota.  Atomic check-and-admit keeps the quota exact even in
+  /// the takeover window where a stale connection's thread has not yet
+  /// observed that it lost the slot.  In-flight work survives a park, so
+  /// quota cannot be evaded by reconnecting; rejection paths after a
+  /// successful reservation release it through decide().
+  [[nodiscard]] bool try_admit(std::uint64_t request_id, std::uint32_t items)
       SPMV_EXCLUDES(retry_mutex_) {
     MutexLock lock(retry_mutex_);
+    if (inflight_items_ + items > quota) return false;
     inflight_[request_id] = items;
     inflight_items_ += items;
+    return true;
   }
 
   /// Record the decided reply for a request id: releases its in-flight
-  /// reservation (if any) and stores the frame in the replay window,
-  /// evicting the oldest entries past `window`.
+  /// reservation (if any) and stores the frame in the replay window —
+  /// the executed-results window when `executed`, else the rejection
+  /// window — evicting the oldest entries past `window`.
   void decide(std::uint64_t request_id, std::vector<std::uint8_t> frame,
-              std::size_t window) SPMV_EXCLUDES(retry_mutex_) {
+              std::size_t window, bool executed = true)
+      SPMV_EXCLUDES(retry_mutex_) {
     MutexLock lock(retry_mutex_);
-    decide_locked(request_id, std::move(frame), window);
+    decide_locked(request_id, std::move(frame), window, executed);
   }
 
   /// Fault-injection hook (net.replay_evict): drop one replay entry so a
@@ -157,6 +182,7 @@ class ClientSlot {
   void drop_replay(std::uint64_t request_id) SPMV_EXCLUDES(retry_mutex_) {
     MutexLock lock(retry_mutex_);
     replay_.erase(request_id);
+    rejected_.erase(request_id);
   }
 
   /// A completion arrived for a connection that no longer exists (the
@@ -178,7 +204,7 @@ class ClientSlot {
     if (state_.load(std::memory_order_relaxed) == AttachState::kClosed) {
       return false;
     }
-    decide_locked(request_id, std::move(frame), window);
+    decide_locked(request_id, std::move(frame), window, /*executed=*/true);
     for (std::uint32_t i = 0; i < ok_items; ++i) count_outcome(true, rpc_ns);
     for (std::uint32_t i = 0; i < failed_items; ++i) {
       count_outcome(false, rpc_ns);
@@ -200,8 +226,12 @@ class ClientSlot {
   /// race the death of the previous connection (a proxy or middlebox cuts
   /// both ends at once, and the two events land on different I/O
   /// threads): resume() takes over a still-attached slot and bumps the
-  /// owner, and the late close of the old connection sees the mismatch
-  /// and leaves the session alone.  Mutated only under the
+  /// owner, the late close of the old connection sees the mismatch and
+  /// leaves the session alone, and the old connection's frame path kills
+  /// the connection on mismatch so a taken-over slot stops being driven
+  /// from two threads.  That frame-path check is advisory (a stale read
+  /// only delays the kill by a frame) — correctness rests on the slot
+  /// state it guards being mutex-guarded.  Mutated only under the
   /// SessionManager's mutex, which supplies the ordering for every
   /// decision made on it; the atomic exists for advisory reads.
   [[nodiscard]] std::uint64_t owner_conn() const {
@@ -301,28 +331,48 @@ class ClientSlot {
 
  private:
   void decide_locked(std::uint64_t request_id, std::vector<std::uint8_t> frame,
-                     std::size_t window) SPMV_REQUIRES(retry_mutex_) {
+                     std::size_t window, bool executed)
+      SPMV_REQUIRES(retry_mutex_) {
     if (auto it = inflight_.find(request_id); it != inflight_.end()) {
       inflight_items_ -= std::min(inflight_items_, it->second);
       inflight_.erase(it);
     }
     max_decided_id_ = std::max(max_decided_id_, request_id);
-    auto [it, inserted] = replay_.emplace(request_id, std::move(frame));
-    if (!inserted) return;  // double decide: keep the first recording
-    replay_order_.push_back(request_id);
-    while (window == 0 ? !replay_order_.empty()
-                       : replay_order_.size() > window) {
-      replay_.erase(replay_order_.front());
-      replay_order_.pop_front();
+    if (replay_.count(request_id) != 0 || rejected_.count(request_id) != 0) {
+      return;  // double decide: keep the first recording
+    }
+    // Executed outcomes and pre-execution rejections get separate
+    // windows: only executed multiplies consume executed-replay slots,
+    // so a burst of rejections cannot evict a result whose retry must
+    // replay rather than answer kRetryUnknown.
+    auto& frames = executed ? replay_ : rejected_;
+    auto& order = executed ? replay_order_ : rejected_order_;
+    frames.emplace(request_id, std::move(frame));
+    order.push_back(request_id);
+    while (window == 0 ? !order.empty() : order.size() > window) {
+      frames.erase(order.front());
+      order.pop_front();
     }
   }
 
   mutable Mutex retry_mutex_;
-  /// Decided replies, request id -> full encoded reply frame.
+  /// The cached operand vector (see cached_x()): guarded because a
+  /// resume takeover resets it from the new connection's thread while
+  /// the stale connection's thread may still be draining frames.
+  std::shared_ptr<const std::vector<double>> cached_x_
+      SPMV_GUARDED_BY(retry_mutex_);
+  /// Decided replies of EXECUTED multiplies, request id -> full encoded
+  /// reply frame.
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> replay_
       SPMV_GUARDED_BY(retry_mutex_);
   /// Insertion order of replay_ keys for window eviction.
   std::deque<std::uint64_t> replay_order_ SPMV_GUARDED_BY(retry_mutex_);
+  /// Decided terminal REJECTIONS (never executed: quota, shutdown,
+  /// malformed, unknown matrix), windowed separately from replay_.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> rejected_
+      SPMV_GUARDED_BY(retry_mutex_);
+  /// Insertion order of rejected_ keys for window eviction.
+  std::deque<std::uint64_t> rejected_order_ SPMV_GUARDED_BY(retry_mutex_);
   /// Highest request id ever decided: anything at or below it that is
   /// neither replayable nor in flight was evicted -> kRetryUnknown.
   std::uint64_t max_decided_id_ SPMV_GUARDED_BY(retry_mutex_) = 0;
@@ -403,9 +453,12 @@ class SessionManager {
   /// parked (the usual reconnect, deadline-checked) and still-attached
   /// takeover — the old connection is dead but its EOF has not been
   /// processed yet (a proxy cutting both ends races the two I/O threads).
-  /// Clears the cached operand vector — the handoff of the
-  /// I/O-thread-owned protocol state to the new connection's thread is
-  /// ordered by this mutex, and the client re-ships full after resuming.
+  /// In the takeover case the old connection's thread may still be
+  /// draining buffered frames against the slot: the server kills that
+  /// connection at its next owner check, and every slot member both
+  /// threads can reach in the meantime is guarded by the slot's own
+  /// mutex.  Clears the cached operand vector — the client re-ships full
+  /// after resuming.
   [[nodiscard]] std::shared_ptr<ClientSlot> resume(std::uint64_t id,
                                                    std::uint64_t token,
                                                    Clock::time_point now,
@@ -420,7 +473,7 @@ class SessionManager {
       std::shared_ptr<ClientSlot> slot = std::move(it->second.slot);
       parked_.erase(it);
       slot->mark_attached();
-      slot->cached_x.reset();
+      slot->set_cached_x(nullptr);
       slot->set_owner_conn(new_owner);
       slots_.emplace(slot->id, slot);
       return slot;
@@ -428,7 +481,7 @@ class SessionManager {
     if (auto it = slots_.find(id); it != slots_.end()) {
       if (it->second->resume_token != token) return nullptr;
       std::shared_ptr<ClientSlot> slot = it->second;
-      slot->cached_x.reset();
+      slot->set_cached_x(nullptr);
       slot->set_owner_conn(new_owner);  // the late close sees the mismatch
       return slot;
     }

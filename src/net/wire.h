@@ -6,7 +6,7 @@
 //        0     4  magic        "SPMV" (0x564D5053 little-endian)
 //        4     1  version      kWireVersion; mismatch rejects the frame
 //        5     1  type         FrameType
-//        6     2  flags        reserved, must be 0 in version 1
+//        6     2  flags        reserved, must be 0 through version 2
 //        8     8  request_id   client-chosen, echoed verbatim in replies
 //       16     4  payload_len  bytes following the header
 //       20     4  payload_crc  CRC32 of the payload (0 when empty)
@@ -46,7 +46,12 @@
 namespace spmv::net {
 
 inline constexpr std::uint32_t kMagic = 0x564D5053u;  // "SPMV"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version history: 1 = original protocol; 2 = HELLO gained
+/// resume_session_id/resume_token and HELLO_OK gained
+/// resume_token/resumed (required fields — a version-1 peer cannot
+/// parse them, so the handshake must fail as a version mismatch, not as
+/// a malformed payload).
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderSize = 28;
 /// Absolute payload sanity cap; ServerConfig/ClientOptions clamp below it.
 inline constexpr std::size_t kMaxSanePayload = std::size_t{1} << 30;

@@ -109,6 +109,39 @@ bool wait_until(const std::function<bool()>& pred,
   return pred();
 }
 
+// Regression: terminal rejections are windowed separately from executed
+// results, so a burst of rejections (quota, shutdown, bad request, ...)
+// cannot evict an executed result whose in-window retry must replay
+// verbatim rather than degrade to kRetryUnknown.
+TEST(NetSession, RejectionBurstDoesNotEvictExecutedReplays) {
+  ClientSlot slot(/*id=*/1, /*quota=*/4, /*token=*/0x5eed);
+  const std::size_t window = 4;
+  const std::vector<std::uint8_t> result_frame{1, 2, 3};
+  slot.decide(/*request_id=*/1, result_frame, window, /*executed=*/true);
+  const std::uint64_t last_reject = 1 + 4 * window;
+  for (std::uint64_t id = 2; id <= last_reject; ++id) {
+    slot.decide(id, {0xEE}, window, /*executed=*/false);
+  }
+  std::vector<std::uint8_t> replay;
+  // The executed reply survives the burst, replayable verbatim...
+  EXPECT_EQ(slot.classify(1, replay), RetryClass::kReplay);
+  EXPECT_EQ(replay, result_frame);
+  // ...recent rejections replay from their own window...
+  EXPECT_EQ(slot.classify(last_reject, replay), RetryClass::kReplay);
+  // ...and rejections evicted from it answer kRetryUnknown.
+  EXPECT_EQ(slot.classify(2, replay), RetryClass::kUnknown);
+}
+
+// try_admit is check-and-reserve in one critical section; a terminal
+// rejection decided after admission releases the reservation.
+TEST(NetSession, TryAdmitReservesUntilDecided) {
+  ClientSlot slot(/*id=*/1, /*quota=*/2, /*token=*/0x5eed);
+  EXPECT_TRUE(slot.try_admit(1, 2));
+  EXPECT_FALSE(slot.try_admit(2, 1)) << "quota must be exhausted";
+  slot.decide(1, {0xEE}, /*window=*/4, /*executed=*/false);
+  EXPECT_TRUE(slot.try_admit(3, 2)) << "decide must release the reservation";
+}
+
 TEST(NetLoopback, HelloGrantsClampedQuota) {
   ServerConfig cfg;
   cfg.max_quota = 8;

@@ -256,10 +256,13 @@ TEST(FaultNet, FaultStormNeverLosesOrDoublesReplies) {
 }
 
 // net.resume_reject: the server refuses every resume offer, as if the
-// parked session were already reaped.  The client must fall back to a
-// fresh session and still complete the call — exactly-once degrades to
-// at-least-once only in this configured worst case, never to zero.
-TEST(FaultNet, ResumeRejectedFallsBackToFreshSession) {
+// parked session were already reaped.  With a retransmission pending,
+// the only honest answer is kRetryUnknown — the replay window that knew
+// the outcome died with the old session, so re-sending on the fresh one
+// would silently re-execute.  The ladder must abandon the retransmit,
+// leave the fresh session healthy, and let the caller re-issue under a
+// NEW id; exactly-once is never degraded behind the caller's back.
+TEST(FaultNet, ResumeRejectedAbandonsRetransmitWithUnknown) {
   FaultArm arm(0x4E5137);
   FaultInjector::instance().set_rate("net.resume_reject", 1.0);
 
@@ -293,11 +296,22 @@ TEST(FaultNet, ResumeRejectedFallsBackToFreshSession) {
   std::this_thread::sleep_for(20ms);
 
   const auto r = client.multiply("A", x);
-  EXPECT_EQ(r.status, StatusCode::kOk) << r.message;
+  EXPECT_EQ(r.status, StatusCode::kRetryUnknown) << r.message;
   EXPECT_FALSE(client.resumed()) << "resume must have been rejected";
   EXPECT_GE(client.counters().resume_rejected, 1u);
+  EXPECT_GE(client.counters().retry_abandoned, 1u);
   EXPECT_GE(server.net_stats().resume_rejected, 1u);
   EXPECT_GE(server.net_stats().sessions_opened, 2u);
+  // The abandoned retransmission never reached the fresh session: only
+  // the first multiply executed.
+  EXPECT_EQ(server.scheduler().stats().total_completed(), 1u);
+
+  // Recovery is the caller's decision: re-issuing under a NEW request id
+  // on the (healthy) fresh session completes normally.
+  ASSERT_TRUE(client.connected());
+  const auto r2 = client.multiply("A", x);
+  EXPECT_EQ(r2.status, StatusCode::kOk) << r2.message;
+  EXPECT_EQ(server.scheduler().stats().total_completed(), 2u);
 
   client.close();
   proxy.stop();
